@@ -1,0 +1,143 @@
+package spin_test
+
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation. Each runs the same experiment as cmd/spin-bench and reports
+// the headline measured values as custom metrics (in the paper's units), so
+// `go test -bench=. -benchmem` regenerates the evaluation in benchmark
+// form. Virtual-time results are deterministic; ns/op measures the host
+// cost of running the simulation, not the paper's metric.
+
+import (
+	"testing"
+
+	"spin/internal/bench"
+)
+
+// runExperiment executes one experiment per benchmark iteration and reports
+// selected row/column cells as custom metrics.
+func runExperiment(b *testing.B, id string, metrics func(*bench.Table, *testing.B)) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if metrics != nil && last != nil {
+		metrics(last, b)
+	}
+}
+
+// cell fetches a measured value by row label and column index.
+func cell(t *bench.Table, label string, col int) float64 {
+	for _, r := range t.Rows {
+		if r.Label == label && col < len(r.Measured) {
+			return r.Measured[col]
+		}
+	}
+	return -1
+}
+
+func BenchmarkTable1SystemSize(b *testing.B) {
+	runExperiment(b, "table1", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "total kernel", 0), "total-lines")
+	})
+}
+
+func BenchmarkTable2ProtectedCommunication(b *testing.B) {
+	runExperiment(b, "table2", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "Protected in-kernel call", 2), "spin-inkernel-µs")
+		b.ReportMetric(cell(t, "System call", 2), "spin-syscall-µs")
+		b.ReportMetric(cell(t, "Cross-address space call", 2), "spin-xas-µs")
+		b.ReportMetric(cell(t, "Cross-address space call", 0), "osf-xas-µs")
+	})
+}
+
+func BenchmarkTable3Threads(b *testing.B) {
+	runExperiment(b, "table3", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "Fork-Join", 4), "spin-kern-forkjoin-µs")
+		b.ReportMetric(cell(t, "Ping-Pong", 4), "spin-kern-pingpong-µs")
+		b.ReportMetric(cell(t, "Fork-Join", 6), "spin-integrated-forkjoin-µs")
+	})
+}
+
+func BenchmarkTable4VM(b *testing.B) {
+	runExperiment(b, "table4", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "Fault", 2), "spin-fault-µs")
+		b.ReportMetric(cell(t, "Trap", 2), "spin-trap-µs")
+		b.ReportMetric(cell(t, "Prot100", 2), "spin-prot100-µs")
+		b.ReportMetric(cell(t, "Fault", 0), "osf-fault-µs")
+	})
+}
+
+func BenchmarkTable5Networking(b *testing.B) {
+	runExperiment(b, "table5", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "Ethernet", 1), "spin-ether-rtt-µs")
+		b.ReportMetric(cell(t, "ATM", 1), "spin-atm-rtt-µs")
+		b.ReportMetric(cell(t, "ATM", 3), "spin-atm-bw-mbps")
+		b.ReportMetric(cell(t, "ATM", 2), "osf-atm-bw-mbps")
+	})
+}
+
+func BenchmarkTable6Forwarding(b *testing.B) {
+	runExperiment(b, "table6", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "Ethernet", 1), "spin-tcp-fwd-µs")
+		b.ReportMetric(cell(t, "Ethernet", 0), "osf-tcp-fwd-µs")
+		b.ReportMetric(cell(t, "ATM", 3), "spin-udp-fwd-atm-µs")
+	})
+}
+
+func BenchmarkTable7ExtensionSizes(b *testing.B) {
+	runExperiment(b, "table7", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "TCP", 0), "tcp-ext-lines")
+		b.ReportMetric(cell(t, "HTTP", 0), "http-ext-lines")
+	})
+}
+
+func BenchmarkFig5ProtocolGraph(b *testing.B) {
+	runExperiment(b, "fig5", nil)
+}
+
+func BenchmarkFig6VideoServer(b *testing.B) {
+	runExperiment(b, "fig6", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "14 clients", 0), "spin-14cli-cpu-pct")
+		b.ReportMetric(cell(t, "14 clients", 1), "osf-14cli-cpu-pct")
+	})
+}
+
+func BenchmarkDispatcherScaling(b *testing.B) {
+	runExperiment(b, "dispatcher", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "baseline (no extra handlers)", 0), "rtt-base-µs")
+		b.ReportMetric(cell(t, "+50 guards, all false", 0), "rtt-50false-µs")
+		b.ReportMetric(cell(t, "+50 guards, all true", 0), "rtt-50true-µs")
+	})
+}
+
+func BenchmarkGCImpact(b *testing.B) {
+	runExperiment(b, "gc", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "protected in-kernel call", 0), "call-gc-on-µs")
+		b.ReportMetric(cell(t, "protected in-kernel call", 1), "call-gc-off-µs")
+	})
+}
+
+func BenchmarkHTTPServer(b *testing.B) {
+	runExperiment(b, "http", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "cached document", 0), "spin-cached-ms")
+		b.ReportMetric(cell(t, "cached document", 1), "osf-cached-ms")
+	})
+}
+
+func BenchmarkAblation(b *testing.B) {
+	runExperiment(b, "ablation", func(t *bench.Table, b *testing.B) {
+		b.ReportMetric(cell(t, "co-location: VM fault handling", 0), "fault-inkernel-µs")
+		b.ReportMetric(cell(t, "co-location: VM fault handling", 1), "fault-crossas-µs")
+		b.ReportMetric(cell(t, "keyed-guard index, 50 handlers", 0), "keyed-µs")
+		b.ReportMetric(cell(t, "keyed-guard index, 50 handlers", 1), "linear-µs")
+	})
+}

@@ -1,0 +1,57 @@
+// Command spin-bench regenerates the paper's evaluation: every table and
+// figure from Section 5 of "Extensibility, Safety and Performance in the
+// SPIN Operating System" (SOSP '95), printed with paper and measured values
+// side by side.
+//
+// Usage:
+//
+//	spin-bench             # run everything
+//	spin-bench -run table5 # one experiment (table1..table7, fig5, fig6,
+//	                       # dispatcher, gc, http)
+//	spin-bench -list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spin/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	experiments := bench.All()
+	if *run != "" {
+		e, ok := bench.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "spin-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	failed := false
+	for _, e := range experiments {
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spin-bench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(table.Format())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

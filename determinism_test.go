@@ -1,0 +1,147 @@
+package spin_test
+
+// Determinism and churn: the simulation must be bit-reproducible (identical
+// runs produce identical virtual timelines), and the dispatcher must stay
+// consistent while extensions install and remove handlers under live
+// traffic.
+
+import (
+	"testing"
+
+	"spin"
+	"spin/internal/bench"
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// TestExperimentsDeterministic runs fast experiments twice and requires
+// bit-identical measured values — no wall-clock, map-order, or scheduling
+// nondeterminism may leak into results.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"table2", "table4", "dispatcher", "http", "table5opt"} {
+		e, ok := bench.Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		first, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		second, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s rerun: %v", id, err)
+		}
+		for i, row := range first.Rows {
+			for j, v := range row.Measured {
+				if second.Rows[i].Measured[j] != v {
+					t.Errorf("%s %q col %d: %v then %v — nondeterministic",
+						id, row.Label, j, v, second.Rows[i].Measured[j])
+				}
+			}
+		}
+	}
+}
+
+// TestHandlerChurnUnderTraffic installs and removes extensions while
+// packets flow; deliveries must track the live handler set exactly.
+func TestHandlerChurnUnderTraffic(t *testing.T) {
+	a, err := spin.NewMachine("a", spin.Config{IP: netstack.Addr(10, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spin.NewMachine("b", spin.Config{IP: netstack.Addr(10, 0, 0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sal.Connect(a.AddNIC(sal.LanceModel), b.AddNIC(sal.LanceModel)); err != nil {
+		t.Fatal(err)
+	}
+	cl := sim.NewCluster(a.Engine, b.Engine)
+
+	delivered := 0
+	if err := b.Stack.UDP().Bind(9, netstack.InKernelDelivery, func(*netstack.Packet) {
+		delivered++
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func() {
+		before := delivered
+		_ = a.Stack.UDP().Send(1, b.Stack.IP, 9, []byte("x"))
+		cl.RunUntil(func() bool { return delivered > before || b.Stack.Dispatcher() == nil }, sim.Time(10*sim.Second))
+	}
+
+	// Churn: alternately install an intercepting extension, verify it
+	// claims traffic, remove it, verify delivery resumes — many times.
+	for round := 0; round < 25; round++ {
+		send()
+		want := round*2 + 1
+		if delivered != want {
+			t.Fatalf("round %d: delivered = %d, want %d", round, delivered, want)
+		}
+		intercepted := 0
+		ref, err := b.Dispatcher.Install(netstack.EvUDPArrived, func(_, _ any) any {
+			intercepted++
+			return true // claim
+		}, dispatch.InstallOptions{
+			Installer: domain.Identity{Name: "interceptor"},
+			Guard: func(arg any) bool {
+				p, ok := arg.(*netstack.Packet)
+				return ok && p.DstPort == 9
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// While installed, the port endpoint is starved.
+		beforePort := delivered
+		_ = a.Stack.UDP().Send(1, b.Stack.IP, 9, []byte("y"))
+		cl.RunUntil(func() bool { return intercepted > 0 }, sim.Time(10*sim.Second))
+		if intercepted != 1 || delivered != beforePort {
+			t.Fatalf("round %d: interception broken (int=%d del=%d)", round, intercepted, delivered)
+		}
+		if err := b.Dispatcher.Remove(ref); err != nil {
+			t.Fatal(err)
+		}
+		send()
+	}
+	if faults, _ := b.Dispatcher.ExtensionFaults(); faults != 0 {
+		t.Errorf("dispatcher recorded %d faults during churn", faults)
+	}
+}
+
+// TestManyExtensionsLoaded loads dozens of extensions, each binding its own
+// port and watching its own events; everything stays isolated.
+func TestManyExtensionsLoaded(t *testing.T) {
+	a, _ := spin.NewMachine("a", spin.Config{IP: netstack.Addr(10, 0, 0, 1)})
+	b, _ := spin.NewMachine("b", spin.Config{IP: netstack.Addr(10, 0, 0, 2)})
+	_ = sal.Connect(a.AddNIC(sal.LanceModel), b.AddNIC(sal.LanceModel))
+	cl := sim.NewCluster(a.Engine, b.Engine)
+
+	const n = 40
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		port := uint16(10000 + i)
+		if err := b.Stack.UDP().Bind(port, netstack.InKernelDelivery, func(p *netstack.Packet) {
+			counts[i]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three datagrams to every extension's port, interleaved.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			_ = a.Stack.UDP().Send(1, b.Stack.IP, uint16(10000+i), []byte{byte(i)})
+		}
+	}
+	cl.Run(0)
+	for i, c := range counts {
+		if c != 3 {
+			t.Errorf("extension %d received %d datagrams, want 3", i, c)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Dbcache: the paper's opening motivation made concrete — "the
+// implementations of disk buffering and paging algorithms found in modern
+// operating systems can be inappropriate for database applications,
+// resulting in poor performance [Stonebraker 81]".
+//
+// A database extension manages its own buffer pool in physical memory and
+// installs a handler on the PhysAddr.Reclaim event. When the kernel needs
+// memory back and nominates one of the database's pages, the handler
+// consults the database's own priority knowledge — which pages are hot
+// index roots and which are cold scan buffers — and volunteers a cold page
+// instead. A conventional kernel would evict blindly.
+//
+// Run with: go run ./examples/dbcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spin"
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sal"
+	"spin/internal/vm"
+)
+
+const poolPages = 16
+
+func main() {
+	m, err := spin.NewMachine("dbhost", spin.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The database's buffer pool: individual page capabilities, so the
+	// kernel can reclaim at page granularity.
+	type bufPage struct {
+		cap  *vm.PhysAddr
+		name string
+		hot  bool
+	}
+	var pool []*bufPage
+	byCap := make(map[*vm.PhysAddr]*bufPage)
+	for i := 0; i < poolPages; i++ {
+		p, err := m.VM.PhysSvc.Allocate(sal.PageSize, vm.AnyAttrib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bp := &bufPage{cap: p, name: fmt.Sprintf("page-%02d", i)}
+		// The first four pages are index roots: hot.
+		bp.hot = i < 4
+		pool = append(pool, bp)
+		byCap[p] = bp
+	}
+
+	// The database's reclaim policy: never give up a hot page while a
+	// cold one remains.
+	nominations := 0
+	_, err = m.Dispatcher.Install(vm.EvReclaim, func(arg, _ any) any {
+		candidate, ok := arg.(*vm.PhysAddr)
+		if !ok {
+			return (*vm.PhysAddr)(nil)
+		}
+		bp, ours := byCap[candidate]
+		if !ours || !bp.hot {
+			return (*vm.PhysAddr)(nil) // fine, take it
+		}
+		// The kernel picked an index root: volunteer a cold page.
+		for i := len(pool) - 1; i >= 0; i-- {
+			if !pool[i].hot {
+				nominations++
+				return pool[i].cap
+			}
+		}
+		return (*vm.PhysAddr)(nil)
+	}, dispatch.InstallOptions{Installer: domain.Identity{Name: "dbms"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory pressure: the kernel reclaims eight times, always picking a
+	// hot page as its candidate (worst case for the database).
+	fmt.Printf("buffer pool: %d pages (%d hot index roots)\n", poolPages, 4)
+	survived := func() (hot, cold int) {
+		for _, bp := range pool {
+			if _, err := m.VM.PhysSvc.IsDirty(bp.cap); err == nil {
+				if bp.hot {
+					hot++
+				} else {
+					cold++
+				}
+			}
+		}
+		return
+	}
+	for round := 0; round < 8; round++ {
+		candidate := pool[round%4].cap // kernel targets a hot page
+		victim, err := m.VM.PhysSvc.Reclaim(candidate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vb := byCap[victim]
+		delete(byCap, victim)
+		for i, bp := range pool {
+			if bp == vb {
+				pool = append(pool[:i], pool[i+1:]...)
+				break
+			}
+		}
+		fmt.Printf("reclaim %d: kernel wanted %s (hot), database gave up %s (hot=%v)\n",
+			round+1, "an index root", vb.name, vb.hot)
+	}
+	hot, cold := survived()
+	fmt.Printf("\nafter pressure: %d hot pages survive, %d cold remain; %d nominations\n",
+		hot, cold, nominations)
+	if hot == 4 {
+		fmt.Println("the database's working set survived — its policy, not the kernel's")
+	}
+}

@@ -1,0 +1,3 @@
+module spin
+
+go 1.22

@@ -1,0 +1,463 @@
+package spin
+
+// Integration tests: end-to-end scenarios that cross module boundaries the
+// way the paper's applications do — extensions composing VM, scheduling,
+// networking and the file system on booted machines.
+
+import (
+	"strings"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/fs"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+	"spin/internal/strand"
+	"spin/internal/unixsrv"
+	"spin/internal/vm"
+)
+
+// TestVideoPipelineEndToEnd runs the full video path: frames stored in the
+// server's file system, read by the file extension, multicast by the
+// SendPacket handler, decompressed and displayed by client extensions.
+func TestVideoPipelineEndToEnd(t *testing.T) {
+	server, err := NewMachine("vs", Config{IP: netstack.Addr(10, 1, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames, frameSize, nClients = 12, 2048, 3
+	movie := make([]byte, frames*frameSize)
+	if err := server.FS.Create("/movie", movie); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := netstack.NewVideoServer(server.Stack, 6000, func(n int) []byte {
+		data, err := server.FS.Read("/movie")
+		if err != nil {
+			t.Fatalf("frame read: %v", err)
+		}
+		return data[n*frameSize : (n+1)*frameSize]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*sim.Engine{server.Engine}
+	var clients []*netstack.VideoClient
+	for i := 0; i < nClients; i++ {
+		c, err := NewMachine("viewer", Config{IP: netstack.Addr(10, 1, 0, byte(10+i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvNIC := server.AddNIC(sal.T3Model)
+		if err := sal.Connect(srvNIC, c.AddNIC(sal.T3Model)); err != nil {
+			t.Fatal(err)
+		}
+		server.Stack.AddRoute(c.Stack.IP, srvNIC)
+		vc, err := netstack.NewVideoClient(c.Stack, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs.Subscribe(c.Stack.IP)
+		clients = append(clients, vc)
+		engines = append(engines, c.Engine)
+	}
+	for f := 0; f < frames; f++ {
+		vs.SendFrame(f)
+	}
+	sim.NewCluster(engines...).Run(0)
+	if vs.FramesSent != frames {
+		t.Errorf("frames sent = %d", vs.FramesSent)
+	}
+	if vs.PacketsSent != frames*nClients {
+		t.Errorf("packets sent = %d, want %d", vs.PacketsSent, frames*nClients)
+	}
+	for i, vc := range clients {
+		if vc.FramesShown != frames {
+			t.Errorf("client %d showed %d frames", i, vc.FramesShown)
+		}
+	}
+}
+
+// TestHTTPThroughHybridCache serves documents through the in-kernel HTTP
+// extension backed by the hybrid cache over the file system, and checks
+// warm transactions beat cold ones.
+func TestHTTPThroughHybridCache(t *testing.T) {
+	server, err := NewMachine("www", Config{IP: netstack.Addr(10, 0, 0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewMachine("browser", Config{IP: netstack.Addr(10, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sal.Connect(server.AddNIC(sal.LanceModel), client.AddNIC(sal.LanceModel)); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.FS.Create("/doc", make([]byte, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	cache := fs.NewWebCache(server.FS, 64<<10, 32<<10)
+	if _, err := netstack.NewHTTPServer(server.Stack, 80, netstack.InKernelDelivery, cache); err != nil {
+		t.Fatal(err)
+	}
+	cl := sim.NewCluster(server.Engine, client.Engine)
+	get := func() sim.Duration {
+		done := false
+		var size int
+		start := client.Clock.Now()
+		err := netstack.HTTPGet(client.Stack, server.Stack.IP, 80, "/doc",
+			netstack.InKernelDelivery, func(status string, body []byte) {
+				if !strings.Contains(status, "200") {
+					t.Fatalf("status %q", status)
+				}
+				size = len(body)
+				done = true
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cl.RunUntil(func() bool { return done }, 0) {
+			t.Fatal("transaction hung")
+		}
+		if size != 2000 {
+			t.Fatalf("body = %d bytes", size)
+		}
+		return client.Clock.Now().Sub(start)
+	}
+	cold := get()
+	warm := get()
+	if warm >= cold {
+		t.Errorf("warm (%v) not faster than cold (%v)", warm, cold)
+	}
+	if !cache.Cached("/doc") {
+		t.Error("small doc not cached")
+	}
+}
+
+// TestExtensionDefinesVMSyscall reproduces the Table 4 structure: an
+// extension defines an application-specific system call over the VM
+// services and installs a guarded fault handler for its application.
+func TestExtensionDefinesVMSyscall(t *testing.T) {
+	m, err := NewMachine("vmapp", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := domain.Identity{Name: "vm-ext"}
+	ctx := m.VM.TransSvc.Create()
+	asid := m.VM.VirtSvc.NewASID()
+	region, err := m.VM.VirtSvc.Allocate(asid, 4*sal.PageSize, vm.AnyAttrib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := m.VM.PhysSvc.Allocate(4*sal.PageSize, vm.AnyAttrib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VM.TransSvc.AddMapping(ctx, region, phys, sal.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	// The extension's custom syscall: "make my region writable".
+	if _, err := m.RegisterSyscall("vm.unprotect", ident, func(any) any {
+		return m.VM.TransSvc.Protect(ctx, region, sal.ProtRead|sal.ProtWrite) == nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Its fault handler resolves write faults by invoking the syscall
+	// logic in-kernel.
+	faults := 0
+	if _, err := m.Dispatcher.Install(vm.EvProtectionFault, func(arg, _ any) any {
+		faults++
+		return m.VM.TransSvc.Protect(ctx, region, sal.ProtRead|sal.ProtWrite) == nil
+	}, dispatch.InstallOptions{Installer: ident, Guard: vm.GuardContext(ctx)}); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := m.VM.Access(ctx, region.Start(), sal.ProtWrite); f != nil {
+		t.Fatalf("fault unresolved: %v", f.Kind)
+	}
+	if faults != 1 {
+		t.Errorf("faults = %d", faults)
+	}
+	// Subsequent writes hit the now-writable mapping.
+	if f, _ := m.VM.Access(ctx, region.Start(), sal.ProtWrite); f != nil {
+		t.Error("second write faulted")
+	}
+	if got := m.Syscall("vm.unprotect", nil); got != true {
+		t.Errorf("syscall = %v", got)
+	}
+}
+
+// TestSchedulerIntegratesWithNetwork runs a kernel thread that blocks on
+// network input: the strand blocks, the packet's arrival unblocks it.
+func TestSchedulerIntegratesWithNetwork(t *testing.T) {
+	a, err := NewMachine("a", Config{IP: netstack.Addr(10, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMachine("b", Config{IP: netstack.Addr(10, 0, 0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sal.Connect(a.AddNIC(sal.LanceModel), b.AddNIC(sal.LanceModel)); err != nil {
+		t.Fatal(err)
+	}
+	sem := b.Threads.NewSemaphore(0)
+	var gotPayload string
+	// The receiving extension wakes the waiting kernel thread.
+	if err := b.Stack.UDP().Bind(9, netstack.InKernelDelivery, func(p *netstack.Packet) {
+		gotPayload = string(p.Payload)
+		sem.V()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	served := false
+	b.Threads.Fork("daemon", func() {
+		sem.P() // blocks until a packet arrives
+		served = true
+	})
+	// Let the daemon start and park.
+	b.Sched.Run()
+	if served {
+		t.Fatal("daemon ran before packet")
+	}
+	if err := a.Stack.UDP().Send(5000, b.Stack.IP, 9, []byte("wake up")); err != nil {
+		t.Fatal(err)
+	}
+	sim.NewCluster(a.Engine, b.Engine).Run(0)
+	b.Sched.Run() // schedule the unblocked daemon
+	if !served || gotPayload != "wake up" {
+		t.Errorf("served=%v payload=%q", served, gotPayload)
+	}
+}
+
+// TestApplicationSpecificScheduler installs a sub-scheduler (LIFO policy)
+// on a booted machine and routes Block/Unblock events through the
+// dispatcher to it.
+func TestApplicationSpecificScheduler(t *testing.T) {
+	m, err := NewMachine("sched", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := strand.NewSubScheduler(m.Sched, domain.Identity{Name: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Policy = func(q []*strand.SubStrand) int { return len(q) - 1 } // LIFO
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		sub.Start(sub.NewSubStrand(name, func(*strand.SubStrand) {
+			order = append(order, name)
+		}))
+	}
+	m.Sched.Run()
+	if len(order) != 3 || order[0] != "c" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// TestReclaimUnderMemoryPressure exercises reclaim nomination with live
+// mappings: reclaiming invalidates the victim's mappings machine-wide.
+func TestReclaimUnderMemoryPressure(t *testing.T) {
+	m, err := NewMachine("mem", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := m.VM.TransSvc.Create()
+	asid := m.VM.VirtSvc.NewASID()
+	important, _ := m.VM.VirtSvc.Allocate(asid, sal.PageSize, vm.AnyAttrib)
+	scratch, _ := m.VM.VirtSvc.Allocate(asid, sal.PageSize, vm.AnyAttrib)
+	pImportant, _ := m.VM.PhysSvc.Allocate(sal.PageSize, vm.AnyAttrib)
+	pScratch, _ := m.VM.PhysSvc.Allocate(sal.PageSize, vm.AnyAttrib)
+	_ = m.VM.TransSvc.AddMapping(ctx, important, pImportant, sal.ProtRead)
+	_ = m.VM.TransSvc.AddMapping(ctx, scratch, pScratch, sal.ProtRead)
+
+	// The application nominates its scratch page instead of whatever the
+	// kernel picked.
+	_, err = m.Dispatcher.Install(vm.EvReclaim, func(arg, _ any) any {
+		return pScratch
+	}, dispatch.InstallOptions{Installer: domain.Identity{Name: "app"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := m.VM.PhysSvc.Reclaim(pImportant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != pScratch {
+		t.Fatal("nomination ignored")
+	}
+	if f, _ := m.VM.Access(ctx, important.Start(), sal.ProtRead); f != nil {
+		t.Error("important page lost its mapping")
+	}
+	if f, _ := m.VM.Access(ctx, scratch.Start(), sal.ProtRead); f == nil {
+		t.Error("scratch page still mapped after reclaim")
+	}
+}
+
+// TestGCDoesNotAffectNetworkFastPath re-checks the §5.5 claim end to end:
+// UDP echo RTT is bit-identical with the collector on and off.
+func TestGCDoesNotAffectNetworkFastPath(t *testing.T) {
+	measure := func(collector bool) sim.Duration {
+		a, _ := NewMachine("a", Config{IP: netstack.Addr(10, 0, 0, 1)})
+		b, _ := NewMachine("b", Config{IP: netstack.Addr(10, 0, 0, 2)})
+		a.Heap.CollectorEnabled = collector
+		b.Heap.CollectorEnabled = collector
+		_ = sal.Connect(a.AddNIC(sal.LanceModel), b.AddNIC(sal.LanceModel))
+		_ = b.Stack.UDP().Echo(7, netstack.InKernelDelivery)
+		replied := false
+		_ = a.Stack.UDP().Bind(5000, netstack.InKernelDelivery, func(*netstack.Packet) { replied = true })
+		start := a.Clock.Now()
+		_ = a.Stack.UDP().Send(5000, b.Stack.IP, 7, make([]byte, 16))
+		sim.NewCluster(a.Engine, b.Engine).RunUntil(func() bool { return replied }, 0)
+		return a.Clock.Now().Sub(start)
+	}
+	on, off := measure(true), measure(false)
+	if on != off {
+		t.Errorf("collector changed fast-path RTT: on=%v off=%v", on, off)
+	}
+}
+
+// TestUnixServerOnMachine boots the UNIX server through the facade and runs
+// a pipeline-ish workload: init forks a child that writes a file; the
+// parent waits and reads it back.
+func TestUnixServerOnMachine(t *testing.T) {
+	m, err := NewMachine("unix", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := m.NewUnixServer()
+	var got []byte
+	srv.Spawn("init", func(p *unixsrv.Process) {
+		pid, err := p.Fork(func(c *unixsrv.Process) {
+			fd, err := c.Open("/tmp/out", true, true)
+			if err != nil {
+				t.Errorf("child open: %v", err)
+				return
+			}
+			_, _ = c.Write(fd, []byte("pipeline"))
+			_ = c.Close(fd)
+			c.Exit(0)
+		})
+		if err != nil {
+			t.Errorf("fork: %v", err)
+			return
+		}
+		if wpid, code, err := p.Wait(); err != nil || wpid != pid || code != 0 {
+			t.Errorf("wait = %d,%d,%v", wpid, code, err)
+		}
+		fd, err := p.Open("/tmp/out", false, false)
+		if err != nil {
+			t.Errorf("parent open: %v", err)
+			return
+		}
+		got, _ = p.Read(fd, 100)
+	})
+	srv.Run()
+	if string(got) != "pipeline" {
+		t.Errorf("read back %q", got)
+	}
+	if m.Clock.Now() == 0 {
+		t.Error("workload consumed no virtual time")
+	}
+}
+
+// TestDiskDriverBlocksStrand is the paper's Figure 4 scenario end to end:
+// a driver thread issues an async disk read and blocks its strand; the disk
+// completion interrupt unblocks it with the data.
+func TestDiskDriverBlocksStrand(t *testing.T) {
+	m, err := NewMachine("io", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Disk.AttachInterrupts(m.Engine, m.IC)
+	// The driver's interrupt handler completes requests.
+	m.IC.Register(sal.VecDisk, func(payload any) {
+		c := payload.(sal.DiskCompletion)
+		if c.Done != nil {
+			c.Done(c)
+		}
+	})
+	m.Disk.WriteBlock(22, []byte("block 22 from SCSI unit 0"))
+
+	var got []byte
+	var ioWait sim.Duration
+	m.Threads.Fork("driver", func() {
+		cur := m.Sched.Current()
+		start := m.Clock.Now()
+		if err := m.Disk.ReadBlockAsync(22, func(c sal.DiskCompletion) {
+			got = c.Data[:25]
+			m.Sched.Unblock(cur) // the interrupt handler unblocks the strand
+		}); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		cur.BlockSelf() // the driver blocks the current strand
+		ioWait = m.Clock.Now().Sub(start)
+	})
+	m.Sched.Run()
+	if string(got) != "block 22 from SCSI unit 0" {
+		t.Errorf("data = %q", got)
+	}
+	if ioWait < m.Disk.SeekTime {
+		t.Errorf("strand resumed after %v, before the I/O could finish", ioWait)
+	}
+	// The CPU was free while the platter turned: busy ≪ wall time.
+	if util := m.Clock.Utilization(0); util > 0.2 {
+		t.Errorf("utilization during disk wait = %.2f, want near 0", util)
+	}
+}
+
+// TestPagedProcessHeap arms the demand pager over a UNIX process's heap:
+// the process touches more pages than the resident bound, transparently
+// paging against the disk.
+func TestPagedProcessHeap(t *testing.T) {
+	m, err := NewMachine("paged", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := m.NewUnixServer()
+	var pagerStats struct{ faults, evictions, swapins int }
+	srv.Spawn("bigproc", func(p *unixsrv.Process) {
+		// The heap region is created unmapped (virtual range only) and
+		// managed by the pager extension rather than eager allocation.
+		asid := m.VM.VirtSvc.NewASID()
+		heap, err := m.VM.VirtSvc.Allocate(asid, 16*sal.PageSize, vm.AnyAttrib)
+		if err != nil {
+			t.Errorf("virt alloc: %v", err)
+			return
+		}
+		pg, err := vm.NewPager(m.VM, m.Disk, p.Space.Ctx, heap,
+			sal.ProtRead|sal.ProtWrite, 4, 5000, domain.Identity{Name: "proc-pager"})
+		if err != nil {
+			t.Errorf("pager: %v", err)
+			return
+		}
+		// Two sweeps over a working set 4x the resident bound.
+		for sweep := 0; sweep < 2; sweep++ {
+			for i := 0; i < 16; i++ {
+				if err := p.Touch(heap.Start()+uint64(i)*sal.PageSize, true); err != nil {
+					t.Errorf("touch %d: %v", i, err)
+					return
+				}
+			}
+		}
+		pagerStats.faults = pg.Faults
+		pagerStats.evictions = pg.Evictions
+		pagerStats.swapins = pg.SwapIns
+		if pg.Resident() > 4 {
+			t.Errorf("resident = %d", pg.Resident())
+		}
+	})
+	srv.Run()
+	if pagerStats.faults < 16 {
+		t.Errorf("faults = %d, want >= 16", pagerStats.faults)
+	}
+	if pagerStats.swapins == 0 {
+		t.Error("second sweep should have swapped pages back in")
+	}
+	reads, writes := m.Disk.Stats()
+	if reads == 0 || writes == 0 {
+		t.Errorf("no disk traffic (r=%d w=%d)", reads, writes)
+	}
+}

@@ -1,0 +1,72 @@
+// Package baseline models the two comparison systems of the paper's
+// evaluation: DEC OSF/1 V2.1 (a monolithic kernel) and Mach 3.0 (a
+// microkernel). The baselines implement the same benchmark operations as
+// the SPIN reproduction, but with the structural overheads the paper
+// attributes to each system — boundary crossings, data copies, signal and
+// external-pager exception paths, socket-based network delivery, user-level
+// protocol forwarding. Costs come from the calibrated profiles in
+// internal/sim; the compositions here are the structure.
+//
+// Unlike the SPIN packages, these models are deliberately monolithic: no
+// dispatcher, no protection domains, no fine-grained service decomposition.
+// That asymmetry is the experiment.
+package baseline
+
+import (
+	"spin/internal/sim"
+)
+
+// System is one baseline kernel instance.
+type System struct {
+	Name    string
+	Engine  *sim.Engine
+	Clock   *sim.Clock
+	Profile *sim.Profile
+	// mach selects microkernel-specific behaviours (lazy unprotect,
+	// external-pager exception path).
+	mach bool
+}
+
+// NewOSF1 builds a DEC OSF/1-like monolithic system.
+func NewOSF1() *System {
+	eng := sim.NewEngine()
+	return &System{Name: "DEC OSF/1", Engine: eng, Clock: eng.Clock, Profile: &sim.OSF1Profile}
+}
+
+// NewMach builds a Mach 3.0-like microkernel system.
+func NewMach() *System {
+	eng := sim.NewEngine()
+	return &System{Name: "Mach", Engine: eng, Clock: eng.Clock, Profile: &sim.MachProfile, mach: true}
+}
+
+// IsMach reports whether this is the microkernel baseline.
+func (s *System) IsMach() bool { return s.mach }
+
+// --- Table 2: protected communication -----------------------------------
+
+// NullSyscall performs one null system call: two boundary crossings plus
+// fixed dispatch through the (generic, but fixed) system call dispatcher.
+func (s *System) NullSyscall() {
+	s.Clock.Advance(s.Profile.Trap)
+	s.Clock.Advance(s.Profile.SyscallOverhead)
+	s.Clock.Advance(s.Profile.Trap)
+}
+
+// CrossAddressSpaceCall performs a protected cross-address-space procedure
+// call: DEC OSF/1 through sockets and SUN RPC, Mach through its optimized
+// message path. Each direction traps into the kernel, moves the message,
+// switches address spaces, and dispatches the server thread.
+func (s *System) CrossAddressSpaceCall(argBytes int) {
+	for dir := 0; dir < 2; dir++ { // call, then reply
+		s.Clock.Advance(s.Profile.Trap)
+		s.Clock.Advance(s.Profile.MsgSend)
+		s.Clock.Advance(sim.Duration((argBytes+7)/8) * s.Profile.CopyPerWord)
+		s.Clock.Advance(s.Profile.ASSwitch)
+		s.Clock.Advance(s.Profile.ContextSwitch)
+		s.Clock.Advance(s.Profile.Trap)
+	}
+}
+
+// InKernelCall is unsupported on both baselines (Table 2: "n/a"): neither
+// system admits arbitrary protected code into the kernel. It reports false.
+func (s *System) InKernelCall() bool { return false }

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// VMOps implements Table 4's virtual memory operations with each baseline's
+// structure: OSF/1 reflects faults to applications as UNIX signals and
+// changes protection via the mprotect system call; Mach uses the external
+// pager interface (an exception message to a user-level pager) and performs
+// unprotection lazily.
+type VMOps struct {
+	sys *System
+	mmu *sal.MMU
+	ctx uint64
+	// lazyUnprot records Mach's deferred unprotections (vpn set).
+	lazyUnprot map[uint64]sal.Prot
+	// mmuProfile is a zero-cost profile: the baselines charge all VM
+	// costs explicitly, since their cost structure (fixed syscall + per
+	// page) is what Table 4 measures.
+	mmuProfile sim.Profile
+}
+
+// NewVMOps prepares a context with n mapped, writable pages.
+func NewVMOps(sys *System, pages int) *VMOps {
+	prof := *sys.Profile
+	prof.PageTableOp = 0 // costs charged explicitly below
+	v := &VMOps{sys: sys, lazyUnprot: make(map[uint64]sal.Prot)}
+	v.mmuProfile = prof
+	v.mmu = sal.NewMMU(sys.Clock, &v.mmuProfile)
+	v.ctx = v.mmu.CreateContext()
+	for i := 0; i < pages; i++ {
+		_ = v.mmu.Install(v.ctx, uint64(i), sal.PTE{Frame: uint64(i), Prot: sal.ProtRead | sal.ProtWrite})
+	}
+	return v
+}
+
+// DirtySupported reports whether the system exports a page-state query.
+// Neither baseline does (Table 4: "n/a").
+func (v *VMOps) DirtySupported() bool { return false }
+
+// Protect changes protection on pages [first, first+n): one system call,
+// fixed VM-layer overhead, then a per-page PTE update.
+func (v *VMOps) Protect(first uint64, n int, prot sal.Prot) {
+	v.sys.NullSyscall()
+	v.sys.Clock.Advance(v.sys.Profile.VMServiceFixed)
+	for i := 0; i < n; i++ {
+		vpn := first + uint64(i)
+		delete(v.lazyUnprot, vpn)
+		v.sys.Clock.Advance(v.sys.Profile.PageTableOp)
+		_ = v.mmu.Protect(v.ctx, vpn, prot)
+	}
+}
+
+// machLazyPerPage is Mach's deferred unprotection bookkeeping cost.
+const machLazyPerPage = 2 * sim.Microsecond
+
+// Unprotect opens protection on pages [first, first+n). Mach performs the
+// operation lazily — it records the new protection and fixes PTEs on
+// demand — so its per-page cost is bookkeeping, not PTE updates.
+func (v *VMOps) Unprotect(first uint64, n int, prot sal.Prot) {
+	v.sys.NullSyscall()
+	v.sys.Clock.Advance(v.sys.Profile.VMServiceFixed)
+	for i := 0; i < n; i++ {
+		vpn := first + uint64(i)
+		if v.sys.mach {
+			v.sys.Clock.Advance(machLazyPerPage)
+			v.lazyUnprot[vpn] = prot
+		} else {
+			v.sys.Clock.Advance(v.sys.Profile.PageTableOp)
+			_ = v.mmu.Protect(v.ctx, vpn, prot)
+		}
+	}
+}
+
+// Touch performs a user access to vpn; a protection fault runs the
+// application's handler (resolver), which typically unprotects the page,
+// then the faulting thread resumes. It returns the handler-entry latency
+// (the Trap benchmark) and whether a fault occurred.
+func (v *VMOps) Touch(vpn uint64, access sal.Prot, resolver func(fault *sal.Fault)) (sim.Duration, bool) {
+	// Mach's lazy unprotection resolves silently inside the kernel.
+	if prot, pending := v.lazyUnprot[vpn]; pending && v.sys.mach {
+		delete(v.lazyUnprot, vpn)
+		v.sys.Clock.Advance(v.sys.Profile.PageTableOp)
+		_ = v.mmu.Protect(v.ctx, vpn, prot)
+	}
+	_, fault := v.mmu.Translate(v.ctx, vpn, access)
+	if fault == nil {
+		return 0, false
+	}
+	start := v.sys.Clock.Now()
+	// Hardware fault, then the generalized delivery machinery: signal
+	// setup on OSF/1, exception/external-pager message on Mach.
+	v.sys.Clock.Advance(v.sys.Profile.Trap)
+	v.sys.Clock.Advance(v.sys.Profile.ExceptionDeliver)
+	lat := v.sys.Clock.Now().Sub(start)
+	if resolver != nil {
+		resolver(fault)
+	}
+	// Resume path: sigreturn / exception reply.
+	v.sys.Clock.Advance(v.sys.Profile.ExceptionResume)
+	v.sys.Clock.Advance(v.sys.Profile.Trap)
+	return lat, true
+}
+
+// MMU exposes the underlying MMU (tests).
+func (v *VMOps) MMU() *sal.MMU { return v.mmu }
+
+// Ctx exposes the addressing context id (tests).
+func (v *VMOps) Ctx() uint64 { return v.ctx }

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"spin"
+	"spin/internal/baseline"
+	"spin/internal/fs"
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// hybridContent plugs the SPIN machine's WebCache under the HTTP extension.
+func newHybridContent(m *spin.Machine, cacheBytes int) *fs.WebCache {
+	return fs.NewWebCache(m.FS, cacheBytes, 64*1024)
+}
+
+// osfHTTPSystem bundles an OSF/1 baseline system with its own file system
+// (the server relies on the operating system's caching file system).
+type osfHTTPSystem struct {
+	sys *baseline.System
+	fs  *fs.FileSystem
+}
+
+func newOSFPairForHTTP() (client, server osfHTTPSystem) {
+	cs := baseline.NewOSF1()
+	ss := baseline.NewOSF1()
+	return osfHTTPSystem{sys: cs, fs: fs.New(sal.NewDisk(cs.Clock), cs.Clock, 256)},
+		osfHTTPSystem{sys: ss, fs: fs.New(sal.NewDisk(ss.Clock), ss.Clock, 256)}
+}
+
+// osfContent is the user-level server's document source: every read crosses
+// into the kernel (read syscall) and copies the document out of the buffer
+// cache into the server process.
+type osfContent struct {
+	host *baseline.Host
+	fs   *fs.FileSystem
+}
+
+// Get implements netstack.HTTPContent with OSF/1's structure.
+func (c *osfContent) Get(path string) ([]byte, bool) {
+	prof := c.host.Sys.Profile
+	clock := c.host.Sys.Clock
+	// Per-request process machinery of a user-level server: accept(),
+	// per-connection setup/teardown, request logging — the work the
+	// in-kernel extension avoids by splicing the protocol stack to the
+	// file system directly.
+	clock.Advance(1800 * sim.Microsecond)
+	// open + read system calls.
+	clock.Advance(2 * (2*prof.Trap + prof.SyscallOverhead))
+	body, err := c.fs.Read(path)
+	if err != nil {
+		return nil, false
+	}
+	// Copy out of the kernel into the server process.
+	clock.Advance(sim.Duration((len(body)+7)/8) * prof.CopyPerWord)
+	return body, true
+}

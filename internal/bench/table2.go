@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"spin"
+	"spin/internal/baseline"
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/netstack"
+	"spin/internal/sim"
+)
+
+// RunTable2 reproduces Table 2: protected communication overhead in
+// microseconds for the null procedure call invoked through (1) a protected
+// in-kernel call between two dynamically linked domains, (2) a system call,
+// and (3) a protected cross-address-space call.
+func RunTable2() (*Table, error) {
+	const iters = 1000
+
+	m, err := newSPINMachine("spin", netstack.Addr(10, 0, 0, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	// (1) Protected in-kernel call: a procedure exported from one domain
+	// invoked from another after dynamic linking; the dispatcher's
+	// single-handler path makes it a direct procedure call.
+	if err := m.Dispatcher.Define("Bench.Null", dispatch.DefineOptions{
+		Primary: func(_, _ any) any { return nil },
+	}); err != nil {
+		return nil, err
+	}
+	start := m.Clock.Now()
+	for i := 0; i < iters; i++ {
+		m.Dispatcher.Raise("Bench.Null", nil)
+	}
+	spinInKernel := m.Clock.Now().Sub(start) / iters
+
+	// (2) System call: the trap handler raises Trap.SystemCall, which
+	// dispatches to the (sole) installed handler via the direct-call
+	// path — the structure the paper describes for SPIN's null syscall.
+	if _, err := m.Dispatcher.Install(spin.SyscallEvent, func(_, _ any) any { return nil },
+		dispatch.InstallOptions{Installer: domain.Identity{Name: "bench"}}); err != nil {
+		return nil, err
+	}
+	start = m.Clock.Now()
+	for i := 0; i < iters; i++ {
+		m.Syscall("null", nil)
+	}
+	spinSyscall := m.Clock.Now().Sub(start) / iters
+
+	// (3) Cross-address-space call on SPIN: system calls to transfer
+	// control in and out of the kernel, and cross-domain procedure calls
+	// within the kernel to transfer control between address spaces.
+	start = m.Clock.Now()
+	for i := 0; i < iters; i++ {
+		spinCrossAddressSpace(m)
+	}
+	spinXAS := m.Clock.Now().Sub(start) / iters
+
+	osf, mach := baseline.NewOSF1(), baseline.NewMach()
+	measure := func(sys *baseline.System, op func()) sim.Duration {
+		start := sys.Clock.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		return sys.Clock.Now().Sub(start) / iters
+	}
+	osfSys := measure(osf, osf.NullSyscall)
+	machSys := measure(mach, mach.NullSyscall)
+	osfXAS := measure(osf, func() { osf.CrossAddressSpaceCall(0) })
+	machXAS := measure(mach, func() { mach.CrossAddressSpaceCall(0) })
+
+	return &Table{
+		ID:      "table2",
+		Title:   "Protected communication overhead",
+		Columns: []string{"DEC OSF/1", "Mach", "SPIN"},
+		Unit:    "µs",
+		Rows: []Row{
+			{"Protected in-kernel call", []float64{NA, NA, 0.13}, []float64{NA, NA, micros(spinInKernel)}},
+			{"System call", []float64{5, 7, 4}, []float64{micros(osfSys), micros(machSys), micros(spinSyscall)}},
+			{"Cross-address space call", []float64{845, 104, 89}, []float64{micros(osfXAS), micros(machXAS), micros(spinXAS)}},
+		},
+		Notes: []string{"neither DEC OSF/1 nor Mach support protected in-kernel communication"},
+	}, nil
+}
+
+// userStateCost mirrors the strand package's crossing model: saving or
+// restoring a user context's processor state around a boundary crossing.
+const userStateCost = 10 * sim.Microsecond
+
+// spinCrossAddressSpace composes SPIN's cross-address-space call: per
+// direction, a trap into the kernel with user-context checkpoint, an
+// in-kernel cross-domain call, an address-space and context switch to the
+// server, and the resume of the server's user context.
+func spinCrossAddressSpace(m *spin.Machine) {
+	for dir := 0; dir < 2; dir++ { // call, then reply
+		m.Clock.Advance(m.Profile.Trap)
+		m.Clock.Advance(m.Profile.SyscallOverhead)
+		m.Clock.Advance(userStateCost) // checkpoint caller
+		m.Clock.Advance(m.Profile.CrossDomainCall)
+		m.Clock.Advance(m.Profile.ASSwitch)
+		m.Clock.Advance(m.Profile.ContextSwitch)
+		m.Clock.Advance(m.Profile.SchedOp)
+		m.Clock.Advance(userStateCost) // resume callee
+		m.Clock.Advance(m.Profile.Trap)
+	}
+}

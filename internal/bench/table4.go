@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+
+	"spin"
+	"spin/internal/baseline"
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+	"spin/internal/vm"
+)
+
+// RunTable4 reproduces Table 4: virtual memory operation overhead in
+// microseconds. SPIN uses kernel extensions over the decomposed VM
+// services with Translation.* fault events; DEC OSF/1 uses signals and
+// mprotect; Mach uses the external pager interface.
+func RunTable4() (*Table, error) {
+	s, err := spinVMNumbers()
+	if err != nil {
+		return nil, err
+	}
+	o := baselineVMNumbers(baseline.NewOSF1())
+	m := baselineVMNumbers(baseline.NewMach())
+
+	rows := []Row{
+		{"Dirty", []float64{NA, NA, 2}, []float64{NA, NA, s.dirty}},
+		{"Fault", []float64{329, 415, 29}, []float64{o.fault, m.fault, s.fault}},
+		{"Trap", []float64{260, 185, 7}, []float64{o.trap, m.trap, s.trap}},
+		{"Prot1", []float64{45, 106, 16}, []float64{o.prot1, m.prot1, s.prot1}},
+		{"Prot100", []float64{1041, 1792, 213}, []float64{o.prot100, m.prot100, s.prot100}},
+		{"Unprot100", []float64{1016, 302, 214}, []float64{o.unprot100, m.unprot100, s.unprot100}},
+		{"Appel1", []float64{382, 819, 39}, []float64{o.appel1, m.appel1, s.appel1}},
+		{"Appel2", []float64{351, 608, 29}, []float64{o.appel2, m.appel2, s.appel2}},
+	}
+	return &Table{
+		ID:      "table4",
+		Title:   "Virtual memory operation overhead",
+		Columns: []string{"DEC OSF/1", "Mach", "SPIN"},
+		Unit:    "µs",
+		Rows:    rows,
+		Notes: []string{
+			"Dirty: neither comparison system exports a page-state query",
+			"Appel2 is the average cost per page (protect 100, fault+resolve each)",
+		},
+	}, nil
+}
+
+type vmNumbers struct {
+	dirty, fault, trap        float64
+	prot1, prot100, unprot100 float64
+	appel1, appel2            float64
+}
+
+// spinVMNumbers drives the SPIN VM benchmark extension: application-
+// specific system calls over the virtual and physical memory interfaces
+// with handlers on Translation.ProtectionFault events.
+func spinVMNumbers() (vmNumbers, error) {
+	var out vmNumbers
+	m, err := spin.NewMachine("spin-vm", spin.Config{IP: netstack.Addr(10, 0, 0, 1)})
+	if err != nil {
+		return out, err
+	}
+	sys := m.VM
+	ctx := sys.TransSvc.Create()
+	asid := sys.VirtSvc.NewASID()
+	region, err := sys.VirtSvc.Allocate(asid, 128*sal.PageSize, vm.AnyAttrib)
+	if err != nil {
+		return out, err
+	}
+	phys, err := sys.PhysSvc.Allocate(128*sal.PageSize, vm.AnyAttrib)
+	if err != nil {
+		return out, err
+	}
+	rw := sal.ProtRead | sal.ProtWrite
+	if err := sys.TransSvc.AddMapping(ctx, region, phys, rw); err != nil {
+		return out, err
+	}
+
+	const iters = 64
+	measure := func(op func()) float64 {
+		start := m.Clock.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		return micros(m.Clock.Now().Sub(start) / iters)
+	}
+
+	// Dirty: query the state of a page.
+	out.dirty = measure(func() { _, _ = sys.PhysSvc.IsDirty(phys) })
+
+	// Prot1 / Prot100 / Unprot100.
+	out.prot1 = measure(func() { _ = sys.TransSvc.ProtectPage(ctx, region, 0, sal.ProtRead) })
+	_ = sys.TransSvc.Protect(ctx, region, rw)
+	sub100, err := sys.VirtSvc.Allocate(asid, 100*sal.PageSize, vm.AnyAttrib)
+	if err != nil {
+		return out, err
+	}
+	phys100, err := sys.PhysSvc.Allocate(100*sal.PageSize, vm.AnyAttrib)
+	if err != nil {
+		return out, err
+	}
+	if err := sys.TransSvc.AddMapping(ctx, sub100, phys100, rw); err != nil {
+		return out, err
+	}
+	out.prot100 = measure(func() { _ = sys.TransSvc.Protect(ctx, sub100, sal.ProtRead) })
+	out.unprot100 = measure(func() { _ = sys.TransSvc.Protect(ctx, sub100, rw) })
+
+	// Fault / Trap: a handler that enables access within the kernel
+	// extension and resumes the faulting thread.
+	ident := domain.Identity{Name: "vm-bench"}
+	faultPage := 0
+	handlerMode := "enable" // or "appel1"
+	ref, err := m.Dispatcher.Install(vm.EvProtectionFault, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		page := int(f.VPN - region.VPN(0))
+		switch handlerMode {
+		case "enable":
+			_ = sys.TransSvc.ProtectPage(ctx, region, page, rw)
+		case "appel1":
+			_ = sys.TransSvc.ProtectPage(ctx, region, page, rw)
+			other := (page + 1) % region.Pages()
+			_ = sys.TransSvc.ProtectPage(ctx, region, other, sal.ProtRead)
+		}
+		return true
+	}, dispatch.InstallOptions{Installer: ident, Guard: vm.GuardContext(ctx)})
+	if err != nil {
+		return out, err
+	}
+	defer func() { _ = m.Dispatcher.Remove(ref) }()
+
+	var trapSum, faultSum sim.Duration
+	for i := 0; i < iters; i++ {
+		_ = sys.TransSvc.ProtectPage(ctx, region, faultPage, sal.ProtRead)
+		start := m.Clock.Now()
+		fault, trapLat := sys.Access(ctx, region.Start()+uint64(faultPage)*sal.PageSize, sal.ProtWrite)
+		if fault != nil {
+			return out, fmt.Errorf("unresolved fault: %v", fault.Kind)
+		}
+		faultSum += m.Clock.Now().Sub(start)
+		trapSum += trapLat
+	}
+	out.trap = micros(trapSum / iters)
+	out.fault = micros(faultSum / iters)
+
+	// Appel1: fault on a protected page, resolve it, protect another in
+	// the handler.
+	handlerMode = "appel1"
+	var appel1Sum sim.Duration
+	for i := 0; i < iters; i++ {
+		_ = sys.TransSvc.ProtectPage(ctx, region, faultPage, sal.ProtRead)
+		start := m.Clock.Now()
+		if fault, _ := sys.Access(ctx, region.Start()+uint64(faultPage)*sal.PageSize, sal.ProtWrite); fault != nil {
+			return out, fmt.Errorf("appel1 unresolved: %v", fault.Kind)
+		}
+		appel1Sum += m.Clock.Now().Sub(start)
+	}
+	out.appel1 = micros(appel1Sum / iters)
+
+	// Appel2: protect 100 pages, fault on each, resolve in the handler;
+	// reported per page.
+	handlerMode = "enable"
+	start := m.Clock.Now()
+	_ = sys.TransSvc.Protect(ctx, sub100, sal.ProtRead)
+	_, _ = sys.Disp.Install(vm.EvProtectionFault, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		page := int(f.VPN - sub100.VPN(0))
+		_ = sys.TransSvc.ProtectPage(ctx, sub100, page, rw)
+		return true
+	}, dispatch.InstallOptions{Installer: ident, Guard: func(arg any) bool {
+		f, ok := arg.(*sal.Fault)
+		return ok && f.Context == ctx.ID() && f.VPN >= sub100.VPN(0) && f.VPN <= sub100.VPN(99)
+	}})
+	for i := 0; i < 100; i++ {
+		if fault, _ := sys.Access(ctx, sub100.Start()+uint64(i)*sal.PageSize, sal.ProtWrite); fault != nil {
+			return out, fmt.Errorf("appel2 unresolved at %d: %v", i, fault.Kind)
+		}
+	}
+	out.appel2 = micros(m.Clock.Now().Sub(start) / 100)
+	return out, nil
+}
+
+// baselineVMNumbers drives the OSF/1 or Mach VM model.
+func baselineVMNumbers(sys *baseline.System) vmNumbers {
+	var out vmNumbers
+	v := baseline.NewVMOps(sys, 256)
+	rw := sal.ProtRead | sal.ProtWrite
+	const iters = 32
+
+	measure := func(op func()) float64 {
+		start := sys.Clock.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		return micros(sys.Clock.Now().Sub(start) / iters)
+	}
+	out.dirty = NA
+	out.prot1 = measure(func() { v.Protect(0, 1, sal.ProtRead) })
+	v.Unprotect(0, 1, rw)
+	out.prot100 = measure(func() { v.Protect(0, 100, sal.ProtRead) })
+	out.unprot100 = measure(func() { v.Unprotect(0, 100, rw) })
+	// Leave the pages accessible again (Mach resolves its lazy records).
+	for i := uint64(0); i < 100; i++ {
+		v.Touch(i, rw, nil)
+	}
+
+	// Trap / Fault.
+	var trapSum, faultSum sim.Duration
+	for i := 0; i < iters; i++ {
+		v.Protect(5, 1, sal.ProtRead)
+		start := sys.Clock.Now()
+		lat, faulted := v.Touch(5, sal.ProtWrite, func(*sal.Fault) {
+			v.Unprotect(5, 1, rw)
+		})
+		if faulted {
+			trapSum += lat
+			faultSum += sys.Clock.Now().Sub(start)
+		}
+		// Mach resolves the lazy unprotect on the next touch; force it
+		// outside the measurement.
+		v.Touch(5, sal.ProtWrite, nil)
+	}
+	out.trap = micros(trapSum / iters)
+	out.fault = micros(faultSum / iters)
+
+	// Appel1.
+	var appel1Sum sim.Duration
+	for i := 0; i < iters; i++ {
+		v.Protect(5, 1, sal.ProtRead)
+		start := sys.Clock.Now()
+		_, faulted := v.Touch(5, sal.ProtWrite, func(*sal.Fault) {
+			v.Unprotect(5, 1, rw)
+			v.Protect(6, 1, sal.ProtRead)
+		})
+		if faulted {
+			appel1Sum += sys.Clock.Now().Sub(start)
+		}
+		v.Touch(5, sal.ProtWrite, nil)
+		v.Unprotect(6, 1, rw)
+		v.Touch(6, sal.ProtWrite, nil)
+	}
+	out.appel1 = micros(appel1Sum / iters)
+
+	// Appel2: protect 100 pages, fault+resolve each; per page.
+	start := sys.Clock.Now()
+	v.Protect(100, 100, sal.ProtRead)
+	for i := uint64(100); i < 200; i++ {
+		v.Touch(i, sal.ProtWrite, func(f *sal.Fault) {
+			v.Unprotect(f.VPN, 1, rw)
+		})
+		v.Touch(i, sal.ProtWrite, nil) // settle lazy state
+	}
+	out.appel2 = micros(sys.Clock.Now().Sub(start) / 100)
+	return out
+}

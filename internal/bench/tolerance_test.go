@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// Calibration regression: beyond orderings (bench_test.go), these bands pin
+// measured values to the paper's within stated tolerances, so a change to a
+// primitive cost that silently drifts a reproduced result fails here.
+
+type band struct {
+	table string
+	row   string
+	col   int
+	paper float64
+	tol   float64 // allowed relative deviation
+}
+
+func TestCalibrationBands(t *testing.T) {
+	bands := []band{
+		// Table 2 (µs).
+		{"table2", "Protected in-kernel call", 2, 0.13, 0.05},
+		{"table2", "System call", 0, 5, 0.10},
+		{"table2", "System call", 1, 7, 0.10},
+		{"table2", "System call", 2, 4, 0.10},
+		{"table2", "Cross-address space call", 0, 845, 0.15},
+		{"table2", "Cross-address space call", 1, 104, 0.25},
+		{"table2", "Cross-address space call", 2, 89, 0.30},
+		// Table 4 (µs): the tightest-calibrated table.
+		{"table4", "Trap", 0, 260, 0.05},
+		{"table4", "Trap", 1, 185, 0.05},
+		{"table4", "Trap", 2, 7, 0.05},
+		{"table4", "Fault", 0, 329, 0.10},
+		{"table4", "Fault", 1, 415, 0.10},
+		{"table4", "Fault", 2, 29, 0.15},
+		{"table4", "Prot1", 0, 45, 0.05},
+		{"table4", "Prot1", 1, 106, 0.05},
+		{"table4", "Prot1", 2, 16, 0.05},
+		{"table4", "Prot100", 0, 1041, 0.05},
+		{"table4", "Prot100", 1, 1792, 0.05},
+		{"table4", "Prot100", 2, 213, 0.05},
+		{"table4", "Unprot100", 1, 302, 0.10},
+		{"table4", "Appel2", 0, 351, 0.10},
+		{"table4", "Appel2", 2, 29, 0.30},
+		// Table 3 (µs), kernel rows.
+		{"table3", "Fork-Join", 0, 198, 0.10},
+		{"table3", "Fork-Join", 2, 101, 0.10},
+		{"table3", "Fork-Join", 4, 22, 0.10},
+		{"table3", "Ping-Pong", 0, 21, 0.15},
+		{"table3", "Ping-Pong", 4, 17, 0.30},
+		// Table 5 latency (µs) and bandwidth (Mb/s).
+		{"table5", "Ethernet", 0, 789, 0.10},
+		{"table5", "Ethernet", 1, 565, 0.10},
+		{"table5", "ATM", 0, 631, 0.10},
+		{"table5", "ATM", 1, 421, 0.10},
+		{"table5", "Ethernet", 2, 8.9, 0.15},
+		{"table5", "ATM", 3, 33, 0.10},
+		// §5.3 optimized drivers (µs / Mb/s).
+		{"table5opt", "Ethernet", 0, 337, 0.10},
+		{"table5opt", "ATM", 0, 241, 0.10},
+		{"table5opt", "ATM", 1, 41, 0.05},
+		// Table 6 (µs).
+		{"table6", "Ethernet", 1, 1420, 0.15},
+		{"table6", "ATM", 1, 1067, 0.15},
+		// HTTP (ms).
+		{"http", "cached document", 0, 5, 0.15},
+		{"http", "cached document", 1, 8, 0.15},
+	}
+
+	cache := map[string]*Table{}
+	for _, b := range bands {
+		tb, ok := cache[b.table]
+		if !ok {
+			tb = mustRun(t, b.table)
+			cache[b.table] = tb
+		}
+		got := measured(t, tb, b.row, b.col)
+		dev := math.Abs(got-b.paper) / b.paper
+		if dev > b.tol {
+			t.Errorf("%s %q col %d: measured %.3g vs paper %.3g (dev %.1f%% > %.0f%%)",
+				b.table, b.row, b.col, got, b.paper, dev*100, b.tol*100)
+		}
+	}
+}

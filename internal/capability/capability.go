@@ -1,0 +1,109 @@
+// Package capability implements SPIN's capability model (paper §3.1). All
+// kernel resources are referenced by capabilities — unforgeable references
+// implemented directly as (typed) pointers, with no run-time overhead for
+// use, passing, or dereference.
+//
+// Within the kernel that property comes directly from Go's type system:
+// packages hand out opaque pointers whose representation is hidden. This
+// package supplies the remaining piece, *externalized references*: a pointer
+// passed out to a user-level application (which cannot be assumed type safe)
+// is replaced by an index into a per-application table of type-safe in-kernel
+// references, recoverable later via the index.
+package capability
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ExternRef is the user-level representation of a kernel capability: an
+// opaque index valid only within the issuing application's table.
+type ExternRef uint64
+
+// Errors returned by Recover.
+var (
+	ErrBadRef    = errors.New("capability: no such reference")
+	ErrWrongType = errors.New("capability: reference has different type")
+	ErrRevoked   = errors.New("capability: reference revoked")
+	ErrNilExtern = errors.New("capability: cannot externalize nil")
+)
+
+type entry struct {
+	obj     any
+	kind    string
+	revoked bool
+}
+
+// Table is a per-application externalized-reference table. Kernel services
+// that intend to pass a reference out to user level externalize the
+// reference through this table and pass out the index instead.
+type Table struct {
+	mu      sync.Mutex
+	entries map[ExternRef]*entry
+	next    ExternRef
+}
+
+// NewTable returns an empty table. Each user-level application gets its own.
+func NewTable() *Table {
+	return &Table{entries: make(map[ExternRef]*entry), next: 1}
+}
+
+// Externalize records obj under a fresh index and returns the index. kind is
+// a type tag (e.g. "PhysAddr.T") checked again at Recover time; it guards
+// against an application passing a valid index to a service expecting a
+// different resource type.
+func (t *Table) Externalize(kind string, obj any) (ExternRef, error) {
+	if obj == nil {
+		return 0, ErrNilExtern
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ref := t.next
+	t.next++
+	t.entries[ref] = &entry{obj: obj, kind: kind}
+	return ref, nil
+}
+
+// Recover returns the object externalized under ref, checking the type tag.
+func (t *Table) Recover(kind string, ref ExternRef) (any, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadRef, ref)
+	}
+	if e.revoked {
+		return nil, fmt.Errorf("%w: %d", ErrRevoked, ref)
+	}
+	if e.kind != kind {
+		return nil, fmt.Errorf("%w: %d is %s, want %s", ErrWrongType, ref, e.kind, kind)
+	}
+	return e.obj, nil
+}
+
+// Revoke invalidates ref without reusing its index; subsequent Recover calls
+// fail with ErrRevoked. Revocation is how the kernel withdraws a resource
+// from an application without trusting it to forget the index.
+func (t *Table) Revoke(ref ExternRef) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[ref]; ok {
+		e.revoked = true
+		e.obj = nil
+	}
+}
+
+// Drop removes ref entirely (the application released the resource).
+func (t *Table) Drop(ref ExternRef) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, ref)
+}
+
+// Len reports the number of live (including revoked) entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

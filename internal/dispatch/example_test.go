@@ -1,0 +1,51 @@
+package dispatch_test
+
+import (
+	"fmt"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sim"
+)
+
+// Example shows the paper's worked IP example: the default implementation
+// module authorizes installations by handing each installer a guard over
+// the protocol type it may service.
+func Example() {
+	eng := sim.NewEngine()
+	d := dispatch.New(eng, &sim.SPINProfile)
+
+	type packet struct{ proto int }
+	_ = d.Define("IP.PacketArrived", dispatch.DefineOptions{
+		Authorizer: func(installer domain.Identity) (dispatch.Guard, error) {
+			// This installer registered for UDP (17) only.
+			return func(arg any) bool { return arg.(*packet).proto == 17 }, nil
+		},
+	})
+	_, _ = d.Install("IP.PacketArrived", func(arg, _ any) any {
+		fmt.Println("UDP handler saw a packet")
+		return true
+	}, dispatch.InstallOptions{Installer: domain.Identity{Name: "udp"}})
+
+	d.Raise("IP.PacketArrived", &packet{proto: 6})  // TCP: guard filters it
+	d.Raise("IP.PacketArrived", &packet{proto: 17}) // UDP: handler runs
+	// Output: UDP handler saw a packet
+}
+
+// ExampleDispatcher_DefineKeyed demonstrates the §5.5 future-work guard
+// index: handlers install under constant keys and dispatch cost stays flat.
+func ExampleDispatcher_DefineKeyed() {
+	eng := sim.NewEngine()
+	d := dispatch.New(eng, &sim.SPINProfile)
+	type datagram struct{ port uint64 }
+	ke, _ := d.DefineKeyed("UDP.Demux", func(arg any) (uint64, bool) {
+		return arg.(*datagram).port, true
+	}, dispatch.DefineOptions{})
+	_, _ = ke.InstallKeyed(80, func(_, _ any) any {
+		fmt.Println("port 80")
+		return nil
+	}, nil)
+	d.Raise("UDP.Demux", &datagram{port: 80})
+	d.Raise("UDP.Demux", &datagram{port: 443}) // no handler: ignored
+	// Output: port 80
+}

@@ -1,0 +1,175 @@
+package dispatch
+
+import (
+	"testing"
+
+	"spin/internal/sim"
+)
+
+type keyedArg struct {
+	port    uint64
+	payload string
+}
+
+func keyOfPort(arg any) (uint64, bool) {
+	a, ok := arg.(*keyedArg)
+	if !ok {
+		return 0, false
+	}
+	return a.port, true
+}
+
+func TestKeyedDemux(t *testing.T) {
+	d, _ := newTestDispatcher()
+	ke, err := d.DefineKeyed("UDP.Demux", keyOfPort, DefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got7, got9 []string
+	_, _ = ke.InstallKeyed(7, func(arg, _ any) any {
+		got7 = append(got7, arg.(*keyedArg).payload)
+		return nil
+	}, nil)
+	_, _ = ke.InstallKeyed(9, func(arg, _ any) any {
+		got9 = append(got9, arg.(*keyedArg).payload)
+		return nil
+	}, nil)
+	d.Raise("UDP.Demux", &keyedArg{port: 7, payload: "a"})
+	d.Raise("UDP.Demux", &keyedArg{port: 9, payload: "b"})
+	d.Raise("UDP.Demux", &keyedArg{port: 5, payload: "c"}) // no handler
+	if len(got7) != 1 || got7[0] != "a" {
+		t.Errorf("got7 = %v", got7)
+	}
+	if len(got9) != 1 || got9[0] != "b" {
+		t.Errorf("got9 = %v", got9)
+	}
+	raises, indexed := ke.Stats()
+	if raises != 3 || indexed != 3 {
+		t.Errorf("stats = %d,%d", raises, indexed)
+	}
+	if ke.Keys() != 2 {
+		t.Errorf("keys = %d", ke.Keys())
+	}
+}
+
+func TestKeyedCostIndependentOfHandlerCount(t *testing.T) {
+	// The point of the optimization: dispatch cost does not grow with the
+	// number of installed keyed handlers (it does with linear guards).
+	cost := func(handlers int) sim.Duration {
+		d, eng := newTestDispatcher()
+		ke, _ := d.DefineKeyed("E", keyOfPort, DefineOptions{})
+		for i := 0; i < handlers; i++ {
+			_, _ = ke.InstallKeyed(uint64(1000+i), func(_, _ any) any { return nil }, nil)
+		}
+		// Raise to a key none of them match.
+		before := eng.Clock.Now()
+		d.Raise("E", &keyedArg{port: 1})
+		return eng.Clock.Now().Sub(before)
+	}
+	if c1, c100 := cost(1), cost(100); c100 != c1 {
+		t.Errorf("keyed dispatch cost grew with handlers: 1=%v 100=%v", c1, c100)
+	}
+
+	// Contrast: linear guards grow.
+	linear := func(handlers int) sim.Duration {
+		d, eng := newTestDispatcher()
+		_ = d.Define("L", DefineOptions{})
+		for i := 0; i < handlers; i++ {
+			key := uint64(1000 + i)
+			_, _ = d.Install("L", func(_, _ any) any { return nil },
+				InstallOptions{Guard: func(arg any) bool {
+					a, ok := arg.(*keyedArg)
+					return ok && a.port == key
+				}})
+		}
+		before := eng.Clock.Now()
+		d.Raise("L", &keyedArg{port: 1})
+		return eng.Clock.Now().Sub(before)
+	}
+	if l1, l100 := linear(1), linear(100); l100 <= l1 {
+		t.Errorf("linear guards should grow: 1=%v 100=%v", l1, l100)
+	}
+}
+
+func TestKeyedRemove(t *testing.T) {
+	d, _ := newTestDispatcher()
+	ke, _ := d.DefineKeyed("E", keyOfPort, DefineOptions{})
+	calls := 0
+	ref, _ := ke.InstallKeyed(7, func(_, _ any) any { calls++; return nil }, nil)
+	d.Raise("E", &keyedArg{port: 7})
+	if err := ke.RemoveKeyed(ref); err != nil {
+		t.Fatal(err)
+	}
+	d.Raise("E", &keyedArg{port: 7})
+	if calls != 1 {
+		t.Errorf("calls = %d", calls)
+	}
+	if err := ke.RemoveKeyed(ref); err == nil {
+		t.Error("double remove accepted")
+	}
+	if ke.Keys() != 0 {
+		t.Errorf("keys = %d", ke.Keys())
+	}
+}
+
+func TestKeyedCoexistsWithPrimaryAndCombiner(t *testing.T) {
+	d, _ := newTestDispatcher()
+	sum := func(results []any) any {
+		total := 0
+		for _, r := range results {
+			if n, ok := r.(int); ok {
+				total += n
+			}
+		}
+		return total
+	}
+	ke, _ := d.DefineKeyed("E", keyOfPort, DefineOptions{
+		Primary:  func(_, _ any) any { return 100 },
+		Combiner: sum,
+	})
+	_, _ = ke.InstallKeyed(7, func(_, _ any) any { return 7 }, nil)
+	_, _ = ke.InstallKeyed(7, func(_, _ any) any { return 3 }, nil)
+	if got := d.Raise("E", &keyedArg{port: 7}); got != 110 {
+		t.Errorf("combined = %v, want 110", got)
+	}
+	// No keyed match: primary alone.
+	if got := d.Raise("E", &keyedArg{port: 1}); got != 100 {
+		t.Errorf("primary-only = %v", got)
+	}
+}
+
+func TestKeyedClosure(t *testing.T) {
+	d, _ := newTestDispatcher()
+	ke, _ := d.DefineKeyed("E", keyOfPort, DefineOptions{})
+	var seen []string
+	h := func(_, closure any) any { seen = append(seen, closure.(string)); return nil }
+	_, _ = ke.InstallKeyed(1, h, "one")
+	_, _ = ke.InstallKeyed(2, h, "two")
+	d.Raise("E", &keyedArg{port: 2})
+	d.Raise("E", &keyedArg{port: 1})
+	if len(seen) != 2 || seen[0] != "two" || seen[1] != "one" {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestKeyedRejectsNil(t *testing.T) {
+	d, _ := newTestDispatcher()
+	if _, err := d.DefineKeyed("E", nil, DefineOptions{}); err == nil {
+		t.Error("nil key func accepted")
+	}
+	ke, _ := d.DefineKeyed("E2", keyOfPort, DefineOptions{})
+	if _, err := ke.InstallKeyed(1, nil, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestKeyedWrongArgType(t *testing.T) {
+	d, _ := newTestDispatcher()
+	ke, _ := d.DefineKeyed("E", keyOfPort, DefineOptions{})
+	ran := false
+	_, _ = ke.InstallKeyed(1, func(_, _ any) any { ran = true; return nil }, nil)
+	d.Raise("E", "not a keyedArg") // keyOf returns !ok
+	if ran {
+		t.Error("handler ran for unkeyable argument")
+	}
+}

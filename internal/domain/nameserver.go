@@ -1,0 +1,121 @@
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Identity names a principal performing an import — an extension, an
+// application, or the kernel itself. It is what an exporter's authorizer
+// sees (paper §3.1: "An exporter can register an authorization procedure
+// with the nameserver that will be called with the identity of the importer
+// whenever the interface is imported").
+type Identity struct {
+	// Name is the principal's name, e.g. "unix-server" or "video-client".
+	Name string
+	// Trusted marks principals the kernel trusts (core services).
+	Trusted bool
+}
+
+// Authorizer decides whether importer may import an interface. A nil
+// Authorizer admits everyone.
+type Authorizer func(importer Identity) error
+
+// ErrUnauthorized is returned (wrapped) when an authorizer denies an import.
+var ErrUnauthorized = errors.New("domain: import unauthorized")
+
+// ErrNotExported is returned when no interface is registered under a name.
+var ErrNotExported = errors.New("domain: interface not exported")
+
+type binding struct {
+	dom  *T
+	auth Authorizer
+}
+
+// Nameserver is the in-kernel registry through which modules export
+// interface domains under global names (e.g. Console.InterfaceName =
+// "ConsoleService") and importers locate them. The importer, exporter and
+// authorizer interact through direct procedure calls, so the fine-grained
+// control has low cost.
+type Nameserver struct {
+	mu       sync.Mutex
+	bindings map[string]binding
+}
+
+// NewNameserver returns an empty nameserver.
+func NewNameserver() *Nameserver {
+	return &Nameserver{bindings: make(map[string]binding)}
+}
+
+// Export registers dom under name with an optional authorizer. Re-export of
+// an existing name fails: interface names version services, so replacing one
+// is an explicit Unexport followed by Export.
+func (ns *Nameserver) Export(name string, dom *T, auth Authorizer) error {
+	if dom == nil {
+		return errors.New("domain: Export of nil domain")
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, exists := ns.bindings[name]; exists {
+		return fmt.Errorf("domain: interface %q already exported", name)
+	}
+	ns.bindings[name] = binding{dom: dom, auth: auth}
+	return nil
+}
+
+// Unexport removes the binding for name, if any.
+func (ns *Nameserver) Unexport(name string) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	delete(ns.bindings, name)
+}
+
+// Import returns the domain exported under name after consulting the
+// exporter's authorizer with the importer's identity.
+func (ns *Nameserver) Import(name string, importer Identity) (*T, error) {
+	ns.mu.Lock()
+	b, ok := ns.bindings[name]
+	ns.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExported, name)
+	}
+	if b.auth != nil {
+		if err := b.auth(importer); err != nil {
+			return nil, fmt.Errorf("%w: %q for %q: %v", ErrUnauthorized, name, importer.Name, err)
+		}
+	}
+	return b.dom, nil
+}
+
+// LinkAgainst imports the named interface and resolves target's undefined
+// symbols against it — the common import-and-link idiom.
+func (ns *Nameserver) LinkAgainst(name string, importer Identity, target *T) error {
+	src, err := ns.Import(name, importer)
+	if err != nil {
+		return err
+	}
+	return Resolve(src, target)
+}
+
+// Names lists all exported interface names, sorted.
+func (ns *Nameserver) Names() []string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]string, 0, len(ns.bindings))
+	for n := range ns.bindings {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrustedOnly is an Authorizer admitting only trusted principals; it is the
+// guard core services place on hardware-facing interfaces.
+func TrustedOnly(importer Identity) error {
+	if !importer.Trusted {
+		return fmt.Errorf("principal %q is not trusted", importer.Name)
+	}
+	return nil
+}

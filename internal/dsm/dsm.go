@@ -1,0 +1,392 @@
+// Package dsm implements distributed shared memory as a SPIN extension —
+// one of the services the paper names as buildable from the translation
+// events ("Implementors of higher level memory management abstractions can
+// use these events to define services, such as demand paging, copy-on-write,
+// distributed shared memory, or concurrent garbage collection", §4.1, after
+// [Carter et al. 91]'s Munin).
+//
+// The protocol is home-based, single-writer/multiple-reader with
+// invalidation:
+//
+//   - every shared page has a home node holding its directory entry
+//     (current mode, owner, reader set);
+//   - a read fault fetches a copy from the home and maps it read-only;
+//   - a write fault asks the home for ownership; the home invalidates all
+//     other holders (unmapping their copies), then grants write access.
+//
+// Coherence traffic rides the RPC extension (which rides active messages).
+// Faulting accesses must come from application context (not from inside an
+// event handler): resolving a miss pumps the simulation cluster until the
+// reply arrives, the analogue of the faulting processor spinning on the
+// network while the line is fetched.
+package dsm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+	"spin/internal/vm"
+)
+
+// Mode is a node's access right to one shared page.
+type Mode int
+
+// Page modes.
+const (
+	Invalid Mode = iota
+	ReadShared
+	Writable
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Invalid:
+		return "invalid"
+	case ReadShared:
+		return "read-shared"
+	case Writable:
+		return "writable"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// RPC procedure ids of the coherence protocol.
+const (
+	procFetch      = 0x44534d01 // fetch a page (read or write intent)
+	procInvalidate = 0x44534d02 // drop a local copy
+)
+
+type fetchReq struct {
+	Page     int
+	ForWrite bool
+	// Node is the requester's index at the home.
+	Node int
+}
+type fetchResp struct {
+	Granted bool
+	Err     string
+}
+type invalidateReq struct {
+	Page int
+	// Downgrade leaves a read-only copy instead of unmapping.
+	Downgrade bool
+}
+type invalidateResp struct{ OK bool }
+
+func enc(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("dsm: encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func dec(data []byte, v any) {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		panic(fmt.Sprintf("dsm: decode: %v", err))
+	}
+}
+
+// directoryEntry is the home's view of one page.
+type directoryEntry struct {
+	// owner is the writing node (-1 when none).
+	owner int
+	// readers holds node indices with read-shared copies.
+	readers map[int]bool
+}
+
+// Node is one machine's view of a shared region.
+type Node struct {
+	// Index identifies this node in the directory.
+	Index int
+
+	sys    *vm.System
+	ctx    *vm.Context
+	region *vm.VirtAddr
+	rpc    *netstack.RPC
+	// peers maps node index -> address; peers[home] answers directory
+	// RPCs for every page (node 0 is the home in this implementation).
+	peers   []netstack.IPAddr
+	cluster *sim.Cluster
+
+	// mode and frames track local page state.
+	mode   map[int]Mode
+	frames map[int]*vm.PhysAddr
+
+	// directory is non-nil on the home node.
+	directory map[int]*directoryEntry
+
+	// Fetches, Invalidations and WriteUpgrades count protocol actions.
+	Fetches       int
+	Invalidations int
+	WriteUpgrades int
+}
+
+// home is the directory node index.
+const home = 0
+
+// Config assembles a node.
+type Config struct {
+	Index   int
+	System  *vm.System
+	Ctx     *vm.Context
+	Region  *vm.VirtAddr
+	RPC     *netstack.RPC
+	Peers   []netstack.IPAddr
+	Cluster *sim.Cluster
+}
+
+// NewNode arms DSM over cfg.Region in cfg.Ctx and registers the coherence
+// handlers. All nodes must share the region's page count; node 0 is the
+// home for every page.
+func NewNode(cfg Config) (*Node, error) {
+	n := &Node{
+		Index:   cfg.Index,
+		sys:     cfg.System,
+		ctx:     cfg.Ctx,
+		region:  cfg.Region,
+		rpc:     cfg.RPC,
+		peers:   cfg.Peers,
+		cluster: cfg.Cluster,
+		mode:    make(map[int]Mode),
+		frames:  make(map[int]*vm.PhysAddr),
+	}
+	if cfg.Index == home {
+		n.directory = make(map[int]*directoryEntry)
+		for i := 0; i < cfg.Region.Pages(); i++ {
+			n.directory[i] = &directoryEntry{owner: -1, readers: make(map[int]bool)}
+		}
+	}
+	if err := n.sys.TransSvc.MarkAllocated(n.ctx, n.region); err != nil {
+		return nil, err
+	}
+	n.exportProtocol()
+	if err := n.installFaultHandlers(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// exportProtocol registers the RPC procedures this node answers.
+func (n *Node) exportProtocol() {
+	// Fetch: only meaningful at the home.
+	n.rpc.Export(procFetch, func(arg []byte) []byte {
+		var req fetchReq
+		dec(arg, &req)
+		if n.directory == nil {
+			return enc(fetchResp{Err: "not the home node"})
+		}
+		if err := n.homeGrant(req); err != nil {
+			return enc(fetchResp{Err: err.Error()})
+		}
+		return enc(fetchResp{Granted: true})
+	})
+	// Invalidate: drop or downgrade the local copy.
+	n.rpc.Export(procInvalidate, func(arg []byte) []byte {
+		var req invalidateReq
+		dec(arg, &req)
+		n.Invalidations++
+		if req.Downgrade {
+			n.setMode(req.Page, ReadShared)
+		} else {
+			n.drop(req.Page)
+		}
+		return enc(invalidateResp{OK: true})
+	})
+}
+
+// homeGrant updates the directory for a fetch and pushes invalidations to
+// conflicting holders. Runs at the home, inside the RPC handler.
+func (n *Node) homeGrant(req fetchReq) error {
+	e := n.directory[req.Page]
+	if e == nil {
+		return fmt.Errorf("no such page %d", req.Page)
+	}
+	if req.ForWrite {
+		// Invalidate every other holder.
+		if e.owner >= 0 && e.owner != req.Node {
+			n.pushInvalidate(e.owner, req.Page, false)
+		}
+		for r := range e.readers {
+			if r != req.Node {
+				n.pushInvalidate(r, req.Page, false)
+			}
+		}
+		// The home's own copy counts too.
+		if req.Node != home {
+			n.drop(req.Page)
+		}
+		e.owner = req.Node
+		e.readers = map[int]bool{}
+		return nil
+	}
+	// Read: downgrade a foreign writer to read-shared.
+	if e.owner >= 0 && e.owner != req.Node {
+		n.pushInvalidate(e.owner, req.Page, true)
+		e.readers[e.owner] = true
+		e.owner = -1
+	}
+	if e.owner == req.Node {
+		return nil // writer reads its own page
+	}
+	e.readers[req.Node] = true
+	return nil
+}
+
+// pushInvalidate sends an invalidation to a holder and waits for the ack.
+// Invalidating the home itself is a local operation.
+func (n *Node) pushInvalidate(node, page int, downgrade bool) {
+	if node == n.Index {
+		n.Invalidations++
+		if downgrade {
+			n.setMode(page, ReadShared)
+		} else {
+			n.drop(page)
+		}
+		return
+	}
+	acked := false
+	_ = n.rpc.Call(n.peers[node], procInvalidate,
+		enc(invalidateReq{Page: page, Downgrade: downgrade}),
+		func([]byte) { acked = true })
+	n.cluster.RunUntil(func() bool { return acked }, 0)
+}
+
+// installFaultHandlers wires the region's faults to the protocol.
+func (n *Node) installFaultHandlers() error {
+	lo, hi := n.region.VPN(0), n.region.VPN(n.region.Pages()-1)
+	guard := func(arg any) bool {
+		f, ok := arg.(*sal.Fault)
+		return ok && f.Context == n.ctx.ID() && f.VPN >= lo && f.VPN <= hi
+	}
+	ident := domain.Identity{Name: fmt.Sprintf("dsm-node-%d", n.Index)}
+	_, err := n.sys.Disp.Install(vm.EvPageNotPresent, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		return n.fault(int(f.VPN-lo), f.Access&sal.ProtWrite != 0)
+	}, dispatch.InstallOptions{Installer: ident, Guard: guard})
+	if err != nil {
+		return err
+	}
+	_, err = n.sys.Disp.Install(vm.EvProtectionFault, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		if f.Access&sal.ProtWrite == 0 {
+			return false
+		}
+		return n.fault(int(f.VPN-lo), true)
+	}, dispatch.InstallOptions{Installer: ident, Guard: guard})
+	return err
+}
+
+// fault resolves a local miss or write-upgrade by talking to the home.
+func (n *Node) fault(page int, forWrite bool) bool {
+	if forWrite {
+		n.WriteUpgrades++
+	}
+	if n.Index == home {
+		// The home consults its own directory directly.
+		if err := n.homeGrant(fetchReq{Page: page, ForWrite: forWrite, Node: home}); err != nil {
+			return false
+		}
+		return n.mapLocal(page, forWrite)
+	}
+	n.Fetches++
+	granted := false
+	failed := false
+	err := n.rpc.Call(n.peers[home], procFetch,
+		enc(fetchReq{Page: page, ForWrite: forWrite, Node: n.Index}),
+		func(result []byte) {
+			var resp fetchResp
+			dec(result, &resp)
+			granted = resp.Granted
+			failed = !resp.Granted
+		})
+	if err != nil {
+		return false
+	}
+	// Spin on the network until the home answers (page transfer rides
+	// the reply).
+	n.cluster.RunUntil(func() bool { return granted || failed }, 0)
+	if !granted {
+		return false
+	}
+	// Page-sized transfer cost for the data itself.
+	n.sys.Clock.Advance(sim.Duration(sal.PageSize/8) * n.sys.Profile.CopyPerWord)
+	return n.mapLocal(page, forWrite)
+}
+
+// mapLocal installs the local mapping at the granted mode.
+func (n *Node) mapLocal(page int, forWrite bool) bool {
+	prot := sal.ProtRead
+	mode := ReadShared
+	if forWrite {
+		prot |= sal.ProtWrite
+		mode = Writable
+	}
+	p, ok := n.frames[page]
+	if !ok {
+		var err error
+		p, err = n.sys.PhysSvc.Allocate(sal.PageSize, vm.AnyAttrib)
+		if err != nil {
+			return false
+		}
+		n.frames[page] = p
+	}
+	if err := n.sys.TransSvc.MapPage(n.ctx, n.region, page, p, 0, prot); err != nil {
+		return false
+	}
+	n.mode[page] = mode
+	return true
+}
+
+// setMode adjusts the protection of a resident page (downgrade).
+func (n *Node) setMode(page int, mode Mode) {
+	if _, resident := n.frames[page]; !resident {
+		n.mode[page] = Invalid
+		return
+	}
+	prot := sal.ProtRead
+	if mode == Writable {
+		prot |= sal.ProtWrite
+	}
+	_ = n.sys.TransSvc.ProtectPage(n.ctx, n.region, page, prot)
+	n.mode[page] = mode
+}
+
+// drop unmaps and releases a local copy.
+func (n *Node) drop(page int) {
+	if p, ok := n.frames[page]; ok {
+		_ = n.sys.TransSvc.UnmapPage(n.ctx, n.region, page)
+		_ = n.sys.PhysSvc.Deallocate(p)
+		delete(n.frames, page)
+	}
+	n.mode[page] = Invalid
+}
+
+// ModeOf reports this node's right to page i.
+func (n *Node) ModeOf(i int) Mode {
+	m, ok := n.mode[i]
+	if !ok {
+		return Invalid
+	}
+	return m
+}
+
+// DirectoryInvariant checks the home's global single-writer invariant for
+// every page, returning a description of the first violation.
+func (n *Node) DirectoryInvariant() error {
+	if n.directory == nil {
+		return fmt.Errorf("dsm: not the home node")
+	}
+	for page, e := range n.directory {
+		if e.owner >= 0 && len(e.readers) > 0 {
+			return fmt.Errorf("page %d: writer %d coexists with readers %v", page, e.owner, e.readers)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package dsm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"spin/internal/dispatch"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+	"spin/internal/vm"
+)
+
+// rig is an N-node DSM cluster over a simulated Ethernet star centred on
+// node 0 (the home).
+type rig struct {
+	nodes   []*Node
+	systems []*vm.System
+	ctxs    []*vm.Context
+	regions []*vm.VirtAddr
+	cluster *sim.Cluster
+}
+
+const regionPages = 4
+
+func newRig(t *testing.T, nNodes int) *rig {
+	t.Helper()
+	cluster := sim.NewCluster()
+	var stacks []*netstack.Stack
+	var systems []*vm.System
+	var engines []*sim.Engine
+	var rpcs []*netstack.RPC
+	var addrs []netstack.IPAddr
+	var ics []*sal.InterruptController
+	for i := 0; i < nNodes; i++ {
+		eng := sim.NewEngine()
+		prof := &sim.SPINProfile
+		disp := dispatch.New(eng, prof)
+		mmu := sal.NewMMU(eng.Clock, prof)
+		phys := sal.NewPhysMem(64 << 20)
+		sys, err := vm.New(eng, prof, disp, mmu, phys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := netstack.Addr(10, 0, 2, byte(10+i))
+		stack, err := netstack.NewStack(fmt.Sprintf("node-%d", i), ip, eng, prof, disp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic := sal.NewInterruptController(eng, prof)
+		am, err := netstack.NewActiveMessages(stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.Add(eng)
+		stacks = append(stacks, stack)
+		systems = append(systems, sys)
+		engines = append(engines, eng)
+		rpcs = append(rpcs, netstack.NewRPC(am))
+		addrs = append(addrs, ip)
+		ics = append(ics, ic)
+	}
+	// Star topology: node 0 has a NIC per peer; peers route via node 0?
+	// Simpler: full mesh of point-to-point links.
+	for i := 0; i < nNodes; i++ {
+		for j := i + 1; j < nNodes; j++ {
+			ni := sal.NewNIC(sal.LanceModel, engines[i], ics[i], sal.InterruptVector(10+j))
+			nj := sal.NewNIC(sal.LanceModel, engines[j], ics[j], sal.InterruptVector(10+i))
+			if err := sal.Connect(ni, nj); err != nil {
+				t.Fatal(err)
+			}
+			stacks[i].Attach(ni)
+			stacks[j].Attach(nj)
+			stacks[i].AddRoute(addrs[j], ni)
+			stacks[j].AddRoute(addrs[i], nj)
+		}
+	}
+	r := &rig{cluster: cluster, systems: systems}
+	for i := 0; i < nNodes; i++ {
+		ctx := systems[i].TransSvc.Create()
+		asid := systems[i].VirtSvc.NewASID()
+		region, err := systems[i].VirtSvc.Allocate(asid, regionPages*sal.PageSize, vm.AnyAttrib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(Config{
+			Index:   i,
+			System:  systems[i],
+			Ctx:     ctx,
+			Region:  region,
+			RPC:     rpcs[i],
+			Peers:   addrs,
+			Cluster: cluster,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nodes = append(r.nodes, node)
+		r.ctxs = append(r.ctxs, ctx)
+		r.regions = append(r.regions, region)
+	}
+	return r
+}
+
+// access performs one shared-memory access on node n.
+func (r *rig) access(t *testing.T, n, page int, write bool) {
+	t.Helper()
+	mode := sal.ProtRead
+	if write {
+		mode |= sal.ProtWrite
+	}
+	addr := r.regions[n].Start() + uint64(page)*sal.PageSize
+	if f, _ := r.systems[n].Access(r.ctxs[n], addr, mode); f != nil {
+		t.Fatalf("node %d page %d write=%v: unresolved %v", n, page, write, f.Kind)
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	r := newRig(t, 3)
+	// All three nodes read page 0: everyone ends read-shared.
+	for n := 0; n < 3; n++ {
+		r.access(t, n, 0, false)
+	}
+	for n := 0; n < 3; n++ {
+		if m := r.nodes[n].ModeOf(0); m != ReadShared && !(n == 0 && m == Writable) {
+			// The home's first access maps at the requested mode.
+			if m != ReadShared {
+				t.Errorf("node %d mode = %v", n, m)
+			}
+		}
+	}
+	if err := r.nodes[home].DirectoryInvariant(); err != nil {
+		t.Error(err)
+	}
+	// Re-reads are local: no further fetches.
+	before := r.nodes[2].Fetches
+	r.access(t, 2, 0, false)
+	if r.nodes[2].Fetches != before {
+		t.Error("warm read refetched")
+	}
+}
+
+func TestWriteInvalidatesReaders(t *testing.T) {
+	r := newRig(t, 3)
+	r.access(t, 1, 0, false)
+	r.access(t, 2, 0, false)
+	// Node 1 writes: node 2's copy must be invalidated.
+	r.access(t, 1, 0, true)
+	if m := r.nodes[2].ModeOf(0); m != Invalid {
+		t.Errorf("node 2 mode after foreign write = %v", m)
+	}
+	if m := r.nodes[1].ModeOf(0); m != Writable {
+		t.Errorf("writer mode = %v", m)
+	}
+	if r.nodes[2].Invalidations == 0 {
+		t.Error("no invalidation delivered to node 2")
+	}
+	if err := r.nodes[home].DirectoryInvariant(); err != nil {
+		t.Error(err)
+	}
+	// Node 2 reads again: the writer is downgraded to read-shared.
+	r.access(t, 2, 0, false)
+	if m := r.nodes[1].ModeOf(0); m != ReadShared {
+		t.Errorf("old writer mode after foreign read = %v", m)
+	}
+	if err := r.nodes[home].DirectoryInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteMigration(t *testing.T) {
+	// Ownership ping-pongs between two writers.
+	r := newRig(t, 2)
+	for round := 0; round < 4; round++ {
+		writer := round % 2
+		r.access(t, writer, 1, true)
+		if m := r.nodes[writer].ModeOf(1); m != Writable {
+			t.Fatalf("round %d: writer mode %v", round, m)
+		}
+		if m := r.nodes[1-writer].ModeOf(1); m != Invalid {
+			t.Fatalf("round %d: loser mode %v", round, m)
+		}
+	}
+	if err := r.nodes[home].DirectoryInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesIndependent(t *testing.T) {
+	r := newRig(t, 2)
+	r.access(t, 0, 0, true)
+	r.access(t, 1, 1, true)
+	if r.nodes[0].ModeOf(0) != Writable || r.nodes[1].ModeOf(1) != Writable {
+		t.Error("independent pages interfered")
+	}
+	if r.nodes[0].ModeOf(1) != Invalid || r.nodes[1].ModeOf(0) != Invalid {
+		t.Error("unexpected residency")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Invalid: "invalid", ReadShared: "read-shared", Writable: "writable",
+	} {
+		if m.String() != want {
+			t.Errorf("%d = %q", int(m), m.String())
+		}
+	}
+}
+
+// Property: after any access sequence, the home directory never records a
+// writer coexisting with readers, and a writable node is the only node with
+// any right to the page.
+func TestCoherenceInvariantProperty(t *testing.T) {
+	type op struct {
+		Node  uint8
+		Page  uint8
+		Write bool
+	}
+	if err := quick.Check(func(ops []op) bool {
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		r := newRig(t, 3)
+		for _, o := range ops {
+			n := int(o.Node) % 3
+			page := int(o.Page) % regionPages
+			r.access(t, n, page, o.Write)
+			if err := r.nodes[home].DirectoryInvariant(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+			// Global check from the nodes' own views.
+			for pg := 0; pg < regionPages; pg++ {
+				writers, holders := 0, 0
+				for _, nd := range r.nodes {
+					switch nd.ModeOf(pg) {
+					case Writable:
+						writers++
+						holders++
+					case ReadShared:
+						holders++
+					}
+				}
+				if writers > 1 || (writers == 1 && holders > 1) {
+					t.Logf("page %d: writers=%d holders=%d", pg, writers, holders)
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package fs_test
+
+import (
+	"fmt"
+
+	"spin/internal/fs"
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// Example shows the two read paths the web-server experiment contrasts:
+// the caching path (buffer cache) and the non-caching path the hybrid
+// policy uses for large files to avoid double buffering.
+func Example() {
+	eng := sim.NewEngine()
+	disk := sal.NewDisk(eng.Clock)
+	filesys := fs.New(disk, eng.Clock, 64)
+
+	_ = filesys.Create("/small.html", make([]byte, 2000))
+	_ = filesys.Create("/large.bin", make([]byte, 100_000))
+
+	cache := fs.NewWebCache(filesys, 1<<20, 64<<10)
+	_, _ = cache.Get("/small.html") // miss: disk, then cached
+	_, _ = cache.Get("/small.html") // hit
+	_, _ = cache.Get("/large.bin")  // large: no-cache, non-caching path
+
+	fmt.Println("small cached:", cache.Cached("/small.html"))
+	fmt.Println("large cached:", cache.Cached("/large.bin"))
+	hits, _ := filesys.CacheStats()
+	fmt.Println("buffer-cache hits from the large read:", hits)
+	// Output:
+	// small cached: true
+	// large cached: false
+	// buffer-cache hits from the large read: 0
+}

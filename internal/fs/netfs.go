@@ -1,0 +1,182 @@
+package fs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"spin/internal/netstack"
+)
+
+// The paper's core component provides "a disk-based and network-based file
+// system". This file is the network-based one: a file service exported over
+// the RPC extension (which itself rides active messages), with a
+// whole-file client cache. Both ends run as in-kernel extensions.
+
+// RPC procedure ids of the file service.
+const (
+	nfsProcLookup = 0x4e460001 // path -> size
+	nfsProcRead   = 0x4e460002 // (path, offset, count) -> data
+	nfsProcList   = 0x4e460003 // () -> names
+)
+
+type nfsLookupReq struct{ Path string }
+type nfsLookupResp struct {
+	Size int
+	Err  string
+}
+type nfsReadReq struct {
+	Path          string
+	Offset, Count int
+}
+type nfsReadResp struct {
+	Data []byte
+	Err  string
+}
+type nfsListResp struct{ Names []string }
+
+func nfsEncode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("fs: netfs encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func nfsDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// NetFSServer exports a FileSystem over RPC.
+type NetFSServer struct {
+	fs *FileSystem
+	// Served counts RPCs handled.
+	Served int64
+}
+
+// NewNetFSServer registers the file service procedures with the RPC
+// extension.
+func NewNetFSServer(rpc *netstack.RPC, filesys *FileSystem) *NetFSServer {
+	s := &NetFSServer{fs: filesys}
+	rpc.Export(nfsProcLookup, func(arg []byte) []byte {
+		s.Served++
+		var req nfsLookupReq
+		if err := nfsDecode(arg, &req); err != nil {
+			return nfsEncode(nfsLookupResp{Err: err.Error()})
+		}
+		size, err := filesys.Size(req.Path)
+		if err != nil {
+			return nfsEncode(nfsLookupResp{Err: err.Error()})
+		}
+		return nfsEncode(nfsLookupResp{Size: size})
+	})
+	rpc.Export(nfsProcRead, func(arg []byte) []byte {
+		s.Served++
+		var req nfsReadReq
+		if err := nfsDecode(arg, &req); err != nil {
+			return nfsEncode(nfsReadResp{Err: err.Error()})
+		}
+		data, err := filesys.Read(req.Path)
+		if err != nil {
+			return nfsEncode(nfsReadResp{Err: err.Error()})
+		}
+		if req.Offset >= len(data) {
+			return nfsEncode(nfsReadResp{})
+		}
+		end := req.Offset + req.Count
+		if end > len(data) || req.Count <= 0 {
+			end = len(data)
+		}
+		return nfsEncode(nfsReadResp{Data: data[req.Offset:end]})
+	})
+	rpc.Export(nfsProcList, func(arg []byte) []byte {
+		s.Served++
+		return nfsEncode(nfsListResp{Names: filesys.List()})
+	})
+	return s
+}
+
+// ErrRemote wraps server-side failures.
+var ErrRemote = errors.New("fs: remote error")
+
+// NetFSClient accesses a remote file service, caching whole files. The
+// simulation is event-driven, so reads complete through continuations.
+type NetFSClient struct {
+	rpc    *netstack.RPC
+	server netstack.IPAddr
+	cache  map[string][]byte
+	// Hits and Fetches expose cache behaviour.
+	Hits, Fetches int64
+}
+
+// NewNetFSClient builds a client of the file service at server.
+func NewNetFSClient(rpc *netstack.RPC, server netstack.IPAddr) *NetFSClient {
+	return &NetFSClient{rpc: rpc, server: server, cache: make(map[string][]byte)}
+}
+
+// Read fetches the whole file, from cache if resident, invoking done with
+// the contents or an error.
+func (c *NetFSClient) Read(path string, done func([]byte, error)) {
+	if data, ok := c.cache[path]; ok {
+		c.Hits++
+		done(append([]byte(nil), data...), nil)
+		return
+	}
+	c.Fetches++
+	err := c.rpc.Call(c.server, nfsProcRead, nfsEncode(nfsReadReq{Path: path}),
+		func(result []byte) {
+			var resp nfsReadResp
+			if err := nfsDecode(result, &resp); err != nil {
+				done(nil, fmt.Errorf("%w: %v", ErrRemote, err))
+				return
+			}
+			if resp.Err != "" {
+				done(nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err))
+				return
+			}
+			c.cache[path] = resp.Data
+			done(append([]byte(nil), resp.Data...), nil)
+		})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+// Stat fetches a file's size without transferring contents.
+func (c *NetFSClient) Stat(path string, done func(int, error)) {
+	err := c.rpc.Call(c.server, nfsProcLookup, nfsEncode(nfsLookupReq{Path: path}),
+		func(result []byte) {
+			var resp nfsLookupResp
+			if err := nfsDecode(result, &resp); err != nil {
+				done(0, fmt.Errorf("%w: %v", ErrRemote, err))
+				return
+			}
+			if resp.Err != "" {
+				done(0, fmt.Errorf("%w: %s", ErrRemote, resp.Err))
+				return
+			}
+			done(resp.Size, nil)
+		})
+	if err != nil {
+		done(0, err)
+	}
+}
+
+// List fetches the remote directory listing.
+func (c *NetFSClient) List(done func([]string, error)) {
+	err := c.rpc.Call(c.server, nfsProcList, nil, func(result []byte) {
+		var resp nfsListResp
+		if err := nfsDecode(result, &resp); err != nil {
+			done(nil, fmt.Errorf("%w: %v", ErrRemote, err))
+			return
+		}
+		done(resp.Names, nil)
+	})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+// Invalidate drops a cached file (e.g. on a change notification).
+func (c *NetFSClient) Invalidate(path string) { delete(c.cache, path) }

@@ -1,0 +1,179 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// nfsRig is a two-machine setup: a file server and a client, joined by
+// Ethernet, both with RPC extensions.
+type nfsRig struct {
+	cluster *sim.Cluster
+	server  *FileSystem
+	client  *NetFSClient
+	srv     *NetFSServer
+}
+
+func newNFSRig(t *testing.T) *nfsRig {
+	t.Helper()
+	mk := func(name string, ip netstack.IPAddr) (*sim.Engine, *netstack.Stack, *sal.NIC) {
+		eng := sim.NewEngine()
+		prof := &sim.SPINProfile
+		disp := dispatch.New(eng, prof)
+		ic := sal.NewInterruptController(eng, prof)
+		nic := sal.NewNIC(sal.LanceModel, eng, ic, sal.VecNIC0)
+		stack, err := netstack.NewStack(name, ip, eng, prof, disp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stack.Attach(nic)
+		return eng, stack, nic
+	}
+	sEng, sStack, sNIC := mk("fileserver", netstack.Addr(10, 0, 0, 2))
+	cEng, cStack, cNIC := mk("client", netstack.Addr(10, 0, 0, 1))
+	if err := sal.Connect(sNIC, cNIC); err != nil {
+		t.Fatal(err)
+	}
+	sAM, err := netstack.NewActiveMessages(sStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cAM, err := netstack.NewActiveMessages(cStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverFS := New(sal.NewDisk(sEng.Clock), sEng.Clock, 64)
+	srv := NewNetFSServer(netstack.NewRPC(sAM), serverFS)
+	client := NewNetFSClient(netstack.NewRPC(cAM), netstack.Addr(10, 0, 0, 2))
+	return &nfsRig{
+		cluster: sim.NewCluster(sEng, cEng),
+		server:  serverFS,
+		client:  client,
+		srv:     srv,
+	}
+}
+
+func TestNetFSReadRoundTrip(t *testing.T) {
+	rig := newNFSRig(t)
+	want := bytes.Repeat([]byte("remote"), 2000)
+	if err := rig.server.Create("/data", want); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	var gotErr error
+	done := false
+	rig.client.Read("/data", func(data []byte, err error) {
+		got, gotErr = data, err
+		done = true
+	})
+	rig.cluster.RunUntil(func() bool { return done }, 0)
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read %d bytes, want %d", len(got), len(want))
+	}
+	if rig.srv.Served != 1 {
+		t.Errorf("server handled %d RPCs", rig.srv.Served)
+	}
+}
+
+func TestNetFSClientCache(t *testing.T) {
+	rig := newNFSRig(t)
+	_ = rig.server.Create("/f", []byte("cached content"))
+	reads := 0
+	read := func() {
+		done := false
+		rig.client.Read("/f", func(data []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			reads++
+			done = true
+		})
+		rig.cluster.RunUntil(func() bool { return done }, 0)
+	}
+	read()
+	read()
+	read()
+	if reads != 3 {
+		t.Fatalf("reads = %d", reads)
+	}
+	if rig.client.Fetches != 1 || rig.client.Hits != 2 {
+		t.Errorf("fetches=%d hits=%d, want 1,2", rig.client.Fetches, rig.client.Hits)
+	}
+	// Invalidation forces a refetch.
+	rig.client.Invalidate("/f")
+	read()
+	if rig.client.Fetches != 2 {
+		t.Errorf("fetches after invalidate = %d", rig.client.Fetches)
+	}
+}
+
+func TestNetFSMissingFile(t *testing.T) {
+	rig := newNFSRig(t)
+	var gotErr error
+	done := false
+	rig.client.Read("/nope", func(_ []byte, err error) {
+		gotErr = err
+		done = true
+	})
+	rig.cluster.RunUntil(func() bool { return done }, 0)
+	if !errors.Is(gotErr, ErrRemote) {
+		t.Errorf("err = %v, want ErrRemote", gotErr)
+	}
+}
+
+func TestNetFSStatAndList(t *testing.T) {
+	rig := newNFSRig(t)
+	_ = rig.server.Create("/a", make([]byte, 123))
+	_ = rig.server.Create("/b", nil)
+	var size int
+	var names []string
+	pending := 2
+	rig.client.Stat("/a", func(n int, err error) {
+		if err != nil {
+			t.Errorf("stat: %v", err)
+		}
+		size = n
+		pending--
+	})
+	rig.client.List(func(ns []string, err error) {
+		if err != nil {
+			t.Errorf("list: %v", err)
+		}
+		names = ns
+		pending--
+	})
+	rig.cluster.RunUntil(func() bool { return pending == 0 }, 0)
+	if size != 123 {
+		t.Errorf("size = %d", size)
+	}
+	if len(names) != 2 || names[0] != "/a" || names[1] != "/b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestNetFSCacheMutationIsolated(t *testing.T) {
+	// The slice handed to one reader must not alias the cache.
+	rig := newNFSRig(t)
+	_ = rig.server.Create("/f", []byte("pristine"))
+	var first []byte
+	done := false
+	rig.client.Read("/f", func(d []byte, _ error) { first = d; done = true })
+	rig.cluster.RunUntil(func() bool { return done }, 0)
+	first[0] = 'X'
+	var second []byte
+	done = false
+	rig.client.Read("/f", func(d []byte, _ error) { second = d; done = true })
+	rig.cluster.RunUntil(func() bool { return done }, 0)
+	if string(second) != "pristine" {
+		t.Errorf("cache corrupted by reader: %q", second)
+	}
+}

@@ -1,0 +1,139 @@
+// Package monitor implements the paper's first extension interaction style
+// (§3.2): "the model allows extensions to passively monitor system
+// activity, and provide up-to-date performance information to
+// applications." A Monitor installs observe-only handlers on named events —
+// they never claim packets or alter results — and accumulates counts and
+// inter-arrival statistics that applications can query cheaply.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sim"
+)
+
+// Counter is the per-event accumulator.
+type Counter struct {
+	// Count is the number of raises observed.
+	Count int64
+	// FirstAt/LastAt bracket the observation window.
+	FirstAt, LastAt sim.Time
+	// minGap/maxGap track inter-arrival extremes.
+	minGap, maxGap sim.Duration
+}
+
+// MinGap returns the smallest observed inter-arrival time (0 until two
+// events have been seen).
+func (c *Counter) MinGap() sim.Duration { return c.minGap }
+
+// MaxGap returns the largest observed inter-arrival time.
+func (c *Counter) MaxGap() sim.Duration { return c.maxGap }
+
+// Rate returns events per virtual second over the observation window.
+func (c *Counter) Rate() float64 {
+	window := c.LastAt.Sub(c.FirstAt)
+	if window <= 0 || c.Count < 2 {
+		return 0
+	}
+	return float64(c.Count-1) / (float64(window) / float64(sim.Second))
+}
+
+// Monitor passively observes events through the dispatcher.
+type Monitor struct {
+	disp  *dispatch.Dispatcher
+	clock *sim.Clock
+	ident domain.Identity
+
+	counters map[string]*Counter
+	refs     []dispatch.HandlerRef
+}
+
+// New creates a monitor installing under the given identity.
+func New(disp *dispatch.Dispatcher, clock *sim.Clock, ident domain.Identity) *Monitor {
+	return &Monitor{
+		disp:     disp,
+		clock:    clock,
+		ident:    ident,
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Watch installs an observe-only handler on event. The handler returns nil,
+// so combiners that fold claims or results ignore it entirely.
+func (m *Monitor) Watch(event string) error {
+	if _, dup := m.counters[event]; dup {
+		return fmt.Errorf("monitor: already watching %q", event)
+	}
+	c := &Counter{}
+	m.counters[event] = c
+	ref, err := m.disp.Install(event, func(_, _ any) any {
+		now := m.clock.Now()
+		if c.Count == 0 {
+			c.FirstAt = now
+		} else {
+			gap := now.Sub(c.LastAt)
+			if c.minGap == 0 || gap < c.minGap {
+				c.minGap = gap
+			}
+			if gap > c.maxGap {
+				c.maxGap = gap
+			}
+		}
+		c.LastAt = now
+		c.Count++
+		return nil
+	}, dispatch.InstallOptions{Installer: m.ident})
+	if err != nil {
+		delete(m.counters, event)
+		return err
+	}
+	m.refs = append(m.refs, ref)
+	return nil
+}
+
+// Counter returns the accumulator for event, if watched.
+func (m *Monitor) Counter(event string) (*Counter, bool) {
+	c, ok := m.counters[event]
+	return c, ok
+}
+
+// Snapshot returns event -> count for all watched events.
+func (m *Monitor) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.counters))
+	for ev, c := range m.counters {
+		out[ev] = c.Count
+	}
+	return out
+}
+
+// Report renders the up-to-date performance information as text.
+func (m *Monitor) Report() string {
+	var names []string
+	for ev := range m.counters {
+		names = append(names, ev)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "monitor report at t=%v\n", m.clock.Now())
+	for _, ev := range names {
+		c := m.counters[ev]
+		fmt.Fprintf(&b, "  %-28s count=%-8d rate=%8.1f/s", ev, c.Count, c.Rate())
+		if c.Count >= 2 {
+			fmt.Fprintf(&b, " gap=[%v, %v]", c.minGap, c.maxGap)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Detach removes all the monitor's handlers.
+func (m *Monitor) Detach() {
+	for _, r := range m.refs {
+		_ = m.disp.Remove(r)
+	}
+	m.refs = nil
+}

@@ -1,0 +1,184 @@
+// Package netdbg implements the network debugger listed among SPIN's core
+// services (paper §5.1, after [Redell 88]'s Topaz teledebugging): an
+// in-kernel extension that answers debugging queries over UDP, so a remote
+// machine can inspect a running kernel — installed events and handlers,
+// physical memory state, dispatcher statistics — without stopping it.
+package netdbg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spin/internal/dispatch"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+)
+
+// DefaultPort is the debugger's UDP port.
+const DefaultPort = 2345
+
+// Target is the set of kernel facilities the debugger exposes. Nil fields
+// disable the corresponding commands.
+type Target struct {
+	Dispatcher *dispatch.Dispatcher
+	Phys       *sal.PhysMem
+	MMU        *sal.MMU
+	// Net, when set, enables the transport inspection commands (the
+	// debugger's own stack is used when nil).
+	Net *netstack.Stack
+	// Extra registers additional commands: name -> handler(arg) -> reply.
+	Extra map[string]func(arg string) string
+}
+
+// Debugger is the server-side extension.
+type Debugger struct {
+	stack  *netstack.Stack
+	target Target
+	// Queries counts requests served.
+	Queries int64
+}
+
+// New installs the debugger on stack at port.
+func New(stack *netstack.Stack, port uint16, target Target) (*Debugger, error) {
+	d := &Debugger{stack: stack, target: target}
+	if d.target.Net == nil {
+		d.target.Net = stack
+	}
+	err := stack.UDP().Bind(port, netstack.InKernelDelivery, func(pkt *netstack.Packet) {
+		d.Queries++
+		reply := d.execute(string(pkt.Payload))
+		_ = stack.UDP().Send(port, pkt.Src, pkt.SrcPort, []byte(reply))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// execute runs one command line: "cmd [arg]".
+func (d *Debugger) execute(line string) string {
+	cmd, arg, _ := strings.Cut(strings.TrimSpace(line), " ")
+	switch cmd {
+	case "help":
+		return d.help()
+	case "events":
+		return d.events()
+	case "handlers":
+		return d.handlers(arg)
+	case "stats":
+		return d.stats(arg)
+	case "frame":
+		return d.frame(arg)
+	case "tlb":
+		return d.tlb()
+	case "mem":
+		return d.mem()
+	case "net":
+		return d.net()
+	default:
+		if d.target.Extra != nil {
+			if h, ok := d.target.Extra[cmd]; ok {
+				return h(arg)
+			}
+		}
+		return fmt.Sprintf("error: unknown command %q (try help)", cmd)
+	}
+}
+
+func (d *Debugger) help() string {
+	cmds := []string{"events", "frame <n>", "handlers <event>", "help", "mem", "net", "stats <event>", "tlb"}
+	for c := range d.target.Extra {
+		cmds = append(cmds, c)
+	}
+	sort.Strings(cmds)
+	return "commands: " + strings.Join(cmds, ", ")
+}
+
+func (d *Debugger) events() string {
+	if d.target.Dispatcher == nil {
+		return "error: no dispatcher attached"
+	}
+	return strings.Join(d.target.Dispatcher.Events(), "\n")
+}
+
+func (d *Debugger) handlers(event string) string {
+	if d.target.Dispatcher == nil {
+		return "error: no dispatcher attached"
+	}
+	owners := d.target.Dispatcher.HandlerOwners(event)
+	if owners == nil {
+		return fmt.Sprintf("error: no event %q", event)
+	}
+	return fmt.Sprintf("%s: %d handler(s): %s", event, len(owners), strings.Join(owners, ", "))
+}
+
+func (d *Debugger) stats(event string) string {
+	if d.target.Dispatcher == nil {
+		return "error: no dispatcher attached"
+	}
+	raises, aborts := d.target.Dispatcher.Stats(event)
+	return fmt.Sprintf("%s: raises=%d aborts=%d", event, raises, aborts)
+}
+
+func (d *Debugger) frame(arg string) string {
+	if d.target.Phys == nil {
+		return "error: no physical memory attached"
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
+		return "error: frame <number>"
+	}
+	fr, err := d.target.Phys.Frame(n)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return fmt.Sprintf("frame %d: inuse=%v dirty=%v referenced=%v color=%d",
+		n, fr.InUse, fr.Dirty, fr.Referenced, fr.Color)
+}
+
+func (d *Debugger) tlb() string {
+	if d.target.MMU == nil {
+		return "error: no MMU attached"
+	}
+	hits, misses := d.target.MMU.TLBStats()
+	return fmt.Sprintf("tlb: hits=%d misses=%d faults=%d", hits, misses, d.target.MMU.Faults())
+}
+
+func (d *Debugger) mem() string {
+	if d.target.Phys == nil {
+		return "error: no physical memory attached"
+	}
+	inUse := 0
+	total := d.target.Phys.NumFrames()
+	for i := 0; i < total; i++ {
+		fr, _ := d.target.Phys.Frame(uint64(i))
+		if fr.InUse {
+			inUse++
+		}
+	}
+	return fmt.Sprintf("mem: %d/%d frames in use", inUse, total)
+}
+
+// net summarizes the transport state of the target's stack.
+func (d *Debugger) net() string {
+	st := d.target.Net
+	rx, tx := st.Stats()
+	return fmt.Sprintf("net %s (%v): rx=%d tx=%d tcp-conns=%d", st.Host, st.IP, rx, tx, st.TCP().Conns())
+}
+
+// Query sends one debugger command from a client stack and invokes done
+// with the reply text. The reply port is ephemeral.
+func Query(stack *netstack.Stack, server netstack.IPAddr, port uint16, cmd string, done func(string)) error {
+	replyPort := stack.UDP().EphemeralPort()
+	err := stack.UDP().Bind(replyPort, netstack.InKernelDelivery, func(pkt *netstack.Packet) {
+		stack.UDP().Unbind(replyPort)
+		if done != nil {
+			done(string(pkt.Payload))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return stack.UDP().Send(replyPort, server, port, []byte(cmd))
+}

@@ -1,0 +1,132 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Active Messages and RPC extensions (the "A.M." and "RPC" boxes of Figure
+// 5): network transports for a remote procedure call package and active
+// messages [von Eicken et al. 92]. Both ride UDP in this implementation.
+
+// amPort is the UDP port the active-message layer claims.
+const amPort = 7001
+
+// AMHandler runs in the kernel on message arrival — the active-message
+// model: the message names its handler, which executes immediately on
+// receipt.
+type AMHandler func(src IPAddr, arg uint64, payload []byte)
+
+// ActiveMessages is the active-message extension on one stack.
+type ActiveMessages struct {
+	stack    *Stack
+	handlers map[uint16]AMHandler
+	// Delivered counts handler invocations.
+	Delivered int64
+}
+
+// NewActiveMessages installs the extension.
+func NewActiveMessages(stack *Stack) (*ActiveMessages, error) {
+	am := &ActiveMessages{stack: stack, handlers: make(map[uint16]AMHandler)}
+	err := stack.UDP().Bind(amPort, InKernelDelivery, func(pkt *Packet) {
+		if len(pkt.Payload) < 10 {
+			return
+		}
+		idx := binary.BigEndian.Uint16(pkt.Payload[:2])
+		arg := binary.BigEndian.Uint64(pkt.Payload[2:10])
+		if h, ok := am.handlers[idx]; ok {
+			am.Delivered++
+			h(pkt.Src, arg, pkt.Payload[10:])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return am, nil
+}
+
+// Register assigns handler index idx.
+func (am *ActiveMessages) Register(idx uint16, h AMHandler) { am.handlers[idx] = h }
+
+// Send fires an active message at dst's handler idx.
+func (am *ActiveMessages) Send(dst IPAddr, idx uint16, arg uint64, payload []byte) error {
+	buf := make([]byte, 10+len(payload))
+	binary.BigEndian.PutUint16(buf[:2], idx)
+	binary.BigEndian.PutUint64(buf[2:10], arg)
+	copy(buf[10:], payload)
+	return am.stack.UDP().Send(amPort, dst, amPort, buf)
+}
+
+// RPC is a remote procedure call package using ActiveMessages as its
+// network transport.
+type RPC struct {
+	am    *ActiveMessages
+	procs map[uint64]func([]byte) []byte
+	// pending maps call id -> reply continuation.
+	pending map[uint64]func([]byte)
+	nextID  uint64
+}
+
+// AM handler indices used by the RPC layer.
+const (
+	amRPCCall  = 100
+	amRPCReply = 101
+)
+
+// NewRPC installs the RPC extension over an active-message layer.
+func NewRPC(am *ActiveMessages) *RPC {
+	r := &RPC{
+		am:      am,
+		procs:   make(map[uint64]func([]byte) []byte),
+		pending: make(map[uint64]func([]byte)),
+		nextID:  1,
+	}
+	am.Register(amRPCCall, func(src IPAddr, callID uint64, payload []byte) {
+		if len(payload) < 8 {
+			return
+		}
+		procID := binary.BigEndian.Uint64(payload[:8])
+		proc, ok := r.procs[procID]
+		var result []byte
+		if ok {
+			result = proc(payload[8:])
+		}
+		_ = am.Send(src, amRPCReply, callID, result)
+	})
+	am.Register(amRPCReply, func(_ IPAddr, callID uint64, payload []byte) {
+		if k, ok := r.pending[callID]; ok {
+			delete(r.pending, callID)
+			k(payload)
+		}
+	})
+	return r
+}
+
+// Export registers a procedure under procID.
+func (r *RPC) Export(procID uint64, proc func([]byte) []byte) { r.procs[procID] = proc }
+
+// ErrNilContinuation guards Call misuse.
+var ErrNilContinuation = errors.New("netstack: RPC call needs a continuation")
+
+// Call invokes procID at dst; reply invokes k. (Asynchronous: the simulation
+// makes the reply a later event.)
+func (r *RPC) Call(dst IPAddr, procID uint64, arg []byte, k func(result []byte)) error {
+	if k == nil {
+		return ErrNilContinuation
+	}
+	id := r.nextID
+	r.nextID++
+	r.pending[id] = k
+	buf := make([]byte, 8+len(arg))
+	binary.BigEndian.PutUint64(buf[:8], procID)
+	copy(buf[8:], arg)
+	if err := r.am.Send(dst, amRPCCall, id, buf); err != nil {
+		delete(r.pending, id)
+		return fmt.Errorf("netstack: rpc call: %w", err)
+	}
+	return nil
+}
+
+// Pending reports in-flight calls (tests).
+func (r *RPC) Pending() int { return len(r.pending) }

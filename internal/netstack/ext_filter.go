@@ -1,0 +1,155 @@
+package netstack
+
+import (
+	"fmt"
+	"strings"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+)
+
+// PacketFilter: the paper's §2.1 argues that "little language" in-kernel
+// packet filters [Mogul et al. 87, Yuhara et al. 94] are subsumed by SPIN's
+// extension model — a filter is just a guard composed from predicates, and
+// its action is an ordinary handler running at native speed. This extension
+// provides the predicate combinators and installs the result on the
+// protocol graph.
+
+// Predicate tests one packet. Predicates compose with And/Or/Not.
+type Predicate func(*Packet) bool
+
+// MatchProto matches the IP protocol number.
+func MatchProto(proto uint8) Predicate {
+	return func(p *Packet) bool { return p.Proto == proto }
+}
+
+// MatchSrc matches the source address.
+func MatchSrc(addr IPAddr) Predicate {
+	return func(p *Packet) bool { return p.Src == addr }
+}
+
+// MatchDst matches the destination address.
+func MatchDst(addr IPAddr) Predicate {
+	return func(p *Packet) bool { return p.Dst == addr }
+}
+
+// MatchDstPortRange matches destination ports in [lo, hi].
+func MatchDstPortRange(lo, hi uint16) Predicate {
+	return func(p *Packet) bool { return p.DstPort >= lo && p.DstPort <= hi }
+}
+
+// MatchPayloadPrefix matches packets whose payload starts with prefix.
+func MatchPayloadPrefix(prefix []byte) Predicate {
+	return func(p *Packet) bool {
+		return len(p.Payload) >= len(prefix) && string(p.Payload[:len(prefix)]) == string(prefix)
+	}
+}
+
+// And is true when every predicate is.
+func And(ps ...Predicate) Predicate {
+	return func(p *Packet) bool {
+		for _, pred := range ps {
+			if !pred(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or is true when any predicate is.
+func Or(ps ...Predicate) Predicate {
+	return func(p *Packet) bool {
+		for _, pred := range ps {
+			if pred(p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(pred Predicate) Predicate {
+	return func(p *Packet) bool { return !pred(p) }
+}
+
+// FilterAction is what a matching filter does with the packet.
+type FilterAction int
+
+// Filter actions.
+const (
+	// Observe counts the packet and lets processing continue.
+	Observe FilterAction = iota
+	// Drop claims the packet, suppressing further processing.
+	Drop
+	// Divert claims the packet and hands it to the filter's consumer.
+	Divert
+)
+
+func (a FilterAction) String() string {
+	switch a {
+	case Observe:
+		return "observe"
+	case Drop:
+		return "drop"
+	case Divert:
+		return "divert"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// PacketFilter is one installed filter.
+type PacketFilter struct {
+	stack  *Stack
+	name   string
+	action FilterAction
+	ref    dispatch.HandlerRef
+	// Consumer receives diverted packets.
+	Consumer func(*Packet)
+	// Matched counts packets the predicate accepted.
+	Matched int64
+}
+
+// NewPacketFilter installs a filter at the IP layer of stack. The predicate
+// becomes the handler's guard — evaluated by the dispatcher like any other
+// guard, with the same per-guard cost the §5.5 experiment measures.
+func NewPacketFilter(stack *Stack, name string, pred Predicate, action FilterAction) (*PacketFilter, error) {
+	f := &PacketFilter{stack: stack, name: name, action: action}
+	ref, err := stack.disp.Install(EvIPArrived, func(arg, _ any) any {
+		pkt := arg.(*Packet)
+		f.Matched++
+		switch f.action {
+		case Drop:
+			pkt.Claimed = true
+			return true
+		case Divert:
+			pkt.Claimed = true
+			if f.Consumer != nil {
+				f.Consumer(pkt)
+			}
+			return true
+		default:
+			return false
+		}
+	}, dispatch.InstallOptions{
+		Installer: domain.Identity{Name: "filter:" + name},
+		Guard: func(arg any) bool {
+			pkt, ok := arg.(*Packet)
+			return ok && pred(pkt)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.ref = ref
+	return f, nil
+}
+
+// Remove uninstalls the filter.
+func (f *PacketFilter) Remove() { _ = f.stack.disp.Remove(f.ref) }
+
+// String describes the filter.
+func (f *PacketFilter) String() string {
+	return fmt.Sprintf("filter %s (%s): matched %d", strings.TrimSpace(f.name), f.action, f.Matched)
+}

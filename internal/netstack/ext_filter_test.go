@@ -1,0 +1,117 @@
+package netstack
+
+import (
+	"testing"
+
+	"spin/internal/sal"
+)
+
+func TestFilterObserveCountsWithoutInterfering(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	filt, err := NewPacketFilter(b.stack, "udp-watch", MatchProto(ProtoUDP), Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	_ = b.stack.UDP().Bind(9, InKernelDelivery, func(*Packet) { delivered++ })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, []byte("x"))
+	_ = a.stack.Ping(Addr(10, 0, 0, 2), 1, 8, nil)
+	cl.Run(0)
+	if delivered != 1 {
+		t.Errorf("delivered = %d; observe filter interfered", delivered)
+	}
+	if filt.Matched != 1 {
+		t.Errorf("matched = %d, want 1 (UDP only)", filt.Matched)
+	}
+}
+
+func TestFilterDrop(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	// Firewall: drop everything to ports 1000-2000 from this source.
+	_, err := NewPacketFilter(b.stack, "fw",
+		And(MatchProto(ProtoUDP), MatchDstPortRange(1000, 2000), MatchSrc(Addr(10, 0, 0, 1))),
+		Drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, allowed := 0, 0
+	_ = b.stack.UDP().Bind(1500, InKernelDelivery, func(*Packet) { blocked++ })
+	_ = b.stack.UDP().Bind(3000, InKernelDelivery, func(*Packet) { allowed++ })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 1500, []byte("evil"))
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 3000, []byte("fine"))
+	cl.Run(0)
+	if blocked != 0 {
+		t.Error("firewalled packet delivered")
+	}
+	if allowed != 1 {
+		t.Error("allowed packet lost")
+	}
+}
+
+func TestFilterDivert(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	var diverted []byte
+	filt, err := NewPacketFilter(b.stack, "snoop",
+		And(MatchProto(ProtoUDP), MatchPayloadPrefix([]byte("SNMP"))),
+		Divert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filt.Consumer = func(p *Packet) { diverted = p.Payload }
+	normal := 0
+	_ = b.stack.UDP().Bind(161, InKernelDelivery, func(*Packet) { normal++ })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 161, []byte("SNMPv2 trap"))
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 161, []byte("other"))
+	cl.Run(0)
+	if string(diverted) != "SNMPv2 trap" {
+		t.Errorf("diverted %q", diverted)
+	}
+	if normal != 1 {
+		t.Errorf("normal deliveries = %d, want 1 (only the non-SNMP one)", normal)
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	p := &Packet{Proto: ProtoTCP, Src: Addr(1, 2, 3, 4), DstPort: 80, Payload: []byte("GET /")}
+	cases := []struct {
+		name string
+		pred Predicate
+		want bool
+	}{
+		{"proto", MatchProto(ProtoTCP), true},
+		{"wrong proto", MatchProto(ProtoUDP), false},
+		{"src", MatchSrc(Addr(1, 2, 3, 4)), true},
+		{"dst", MatchDst(Addr(9, 9, 9, 9)), false},
+		{"port range", MatchDstPortRange(1, 100), true},
+		{"payload", MatchPayloadPrefix([]byte("GET")), true},
+		{"payload too long", MatchPayloadPrefix([]byte("GET /index.html")), false},
+		{"and", And(MatchProto(ProtoTCP), MatchDstPortRange(1, 100)), true},
+		{"and fails", And(MatchProto(ProtoTCP), MatchDstPortRange(443, 443)), false},
+		{"or", Or(MatchProto(ProtoUDP), MatchDstPortRange(80, 80)), true},
+		{"or fails", Or(MatchProto(ProtoUDP), MatchDstPortRange(443, 443)), false},
+		{"not", Not(MatchProto(ProtoUDP)), true},
+	}
+	for _, c := range cases {
+		if got := c.pred(p); got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFilterRemove(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	filt, _ := NewPacketFilter(b.stack, "fw", MatchProto(ProtoUDP), Drop)
+	delivered := 0
+	_ = b.stack.UDP().Bind(9, InKernelDelivery, func(*Packet) { delivered++ })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, []byte("1"))
+	cl.Run(0)
+	filt.Remove()
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, []byte("2"))
+	cl.Run(0)
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (second packet after removal)", delivered)
+	}
+	if filt.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,114 @@
+package netstack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HTTPContent supplies document bodies to the in-kernel HTTP server. The
+// web server experiment (paper §5.4) wires this to the file system with a
+// hybrid cache; tests can use a map.
+type HTTPContent interface {
+	// Get returns the body for path, or ok=false for 404.
+	Get(path string) (body []byte, ok bool)
+}
+
+// ContentMap is a trivial in-memory HTTPContent.
+type ContentMap map[string][]byte
+
+// Get implements HTTPContent.
+func (m ContentMap) Get(path string) ([]byte, bool) {
+	b, ok := m[path]
+	return b, ok
+}
+
+// HTTPServer is the HTTP extension: the HyperText Transport Protocol
+// implemented directly within the kernel, "splicing together the protocol
+// stack and the local file system" so a server can respond quickly.
+type HTTPServer struct {
+	stack   *Stack
+	content HTTPContent
+	// Requests counts GETs served.
+	Requests int64
+	// NotFound counts 404s.
+	NotFound int64
+}
+
+// NewHTTPServer starts the extension listening on port (normally 80).
+func NewHTTPServer(stack *Stack, port uint16, cost DeliveryCost, content HTTPContent) (*HTTPServer, error) {
+	h := &HTTPServer{stack: stack, content: content}
+	err := stack.TCP().Listen(port, cost, func(c *Conn) {
+		var reqBuf []byte
+		c.OnData = func(c *Conn, data []byte) {
+			reqBuf = append(reqBuf, data...)
+			if !strings.Contains(string(reqBuf), "\r\n\r\n") {
+				return // request incomplete
+			}
+			h.serve(c, string(reqBuf))
+			reqBuf = nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// serve parses one request and sends the response on the connection.
+func (h *HTTPServer) serve(c *Conn, req string) {
+	line, _, _ := strings.Cut(req, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "GET" {
+		_ = c.Send([]byte("HTTP/1.0 400 Bad Request\r\n\r\n"))
+		c.Close()
+		return
+	}
+	path := fields[1]
+	body, ok := h.content.Get(path)
+	if !ok {
+		h.NotFound++
+		_ = c.Send([]byte("HTTP/1.0 404 Not Found\r\n\r\n"))
+		c.Close()
+		return
+	}
+	h.Requests++
+	head := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n", len(body))
+	_ = c.Send(append([]byte(head), body...))
+	c.Close()
+}
+
+// HTTPGet performs one HTTP transaction from this stack to server:port,
+// invoking done with the response body when the transfer completes (the
+// server closing the connection ends the body).
+func HTTPGet(stack *Stack, server IPAddr, port uint16, path string, cost DeliveryCost, done func(status string, body []byte)) error {
+	conn, err := stack.TCP().Connect(server, port, cost)
+	if err != nil {
+		return err
+	}
+	var resp []byte
+	finished := false
+	conn.OnConnect = func(c *Conn) {
+		_ = c.Send([]byte("GET " + path + " HTTP/1.0\r\n\r\n"))
+	}
+	conn.OnData = func(c *Conn, data []byte) {
+		resp = append(resp, data...)
+	}
+	conn.OnClose = func(c *Conn) {
+		if finished {
+			return
+		}
+		finished = true
+		c.Close() // complete our half of the teardown
+		if done == nil {
+			return
+		}
+		headers, body, found := strings.Cut(string(resp), "\r\n\r\n")
+		status, _, _ := strings.Cut(headers, "\r\n")
+		if !found {
+			done(status, nil)
+			return
+		}
+		done(status, []byte(body))
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package netstack
+
+import (
+	"spin/internal/sal"
+)
+
+// IP fragmentation and reassembly. Datagrams larger than the outbound
+// medium's MTU are split into fragments at the IP layer and reassembled at
+// the destination before transport processing — so UDP endpoints see whole
+// datagrams regardless of media (the paper's ATM bandwidth test sends
+// 8132-byte packets; over Ethernet the same datagram fragments).
+
+// EthernetMTU is the classic 1500-byte IP MTU.
+const EthernetMTU = 1500
+
+// mtuFor returns the IP MTU of a NIC's medium: cell-based media (ATM AAL5)
+// carry large frames natively; Ethernet-like media are limited.
+func mtuFor(nic *sal.NIC) int {
+	if nic.Model.CellSize > 0 {
+		return 9180 // ATM AAL5 default IP MTU
+	}
+	return EthernetMTU
+}
+
+// fragment state on Packet: FragID groups fragments of one datagram,
+// FragOffset is the payload offset, MoreFrags marks non-final fragments.
+// (Fields live on Packet in packet.go.)
+
+// reassembly buffers partially arrived datagrams, keyed by (src, id).
+type reassembly struct {
+	parts map[fragKey]*fragBuffer
+}
+
+type fragKey struct {
+	src IPAddr
+	id  uint32
+}
+
+type fragBuffer struct {
+	data     []byte
+	received int
+	total    int // total payload length; -1 until the final fragment
+	template Packet
+}
+
+func newReassembly() *reassembly {
+	return &reassembly{parts: make(map[fragKey]*fragBuffer)}
+}
+
+// sendFragmented splits pkt into MTU-sized fragments and transmits each.
+func (s *Stack) sendFragmented(pkt *Packet, nic *sal.NIC, mtu int) error {
+	transportHdr := pkt.WireSize() - EtherHeader - IPHeader - len(pkt.Payload)
+	maxPayload := mtu - IPHeader - transportHdr
+	if maxPayload <= 0 {
+		maxPayload = mtu / 2
+	}
+	s.fragID++
+	id := s.fragID
+	payload := pkt.Payload
+	for off := 0; off < len(payload); off += maxPayload {
+		end := off + maxPayload
+		if end > len(payload) {
+			end = len(payload)
+		}
+		frag := *pkt
+		frag.Payload = payload[off:end]
+		frag.FragID = id
+		frag.FragOffset = off
+		frag.MoreFrags = end < len(payload)
+		frag.Claimed = false
+		// Per-fragment IP header build.
+		s.clock.Advance(s.profile.ProtoLayer / 2)
+		if err := nic.Send(sal.NetFrame{Size: frag.WireSize(), Payload: &frag}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reassemble accepts one fragment; it returns the whole datagram when
+// complete, or nil while fragments are outstanding.
+func (r *reassembly) reassemble(pkt *Packet) *Packet {
+	key := fragKey{src: pkt.Src, id: pkt.FragID}
+	buf, ok := r.parts[key]
+	if !ok {
+		buf = &fragBuffer{total: -1, template: *pkt}
+		r.parts[key] = buf
+	}
+	end := pkt.FragOffset + len(pkt.Payload)
+	if end > len(buf.data) {
+		grown := make([]byte, end)
+		copy(grown, buf.data)
+		buf.data = grown
+	}
+	copy(buf.data[pkt.FragOffset:], pkt.Payload)
+	buf.received += len(pkt.Payload)
+	if !pkt.MoreFrags {
+		buf.total = end
+	}
+	if buf.total >= 0 && buf.received >= buf.total {
+		delete(r.parts, key)
+		whole := buf.template
+		whole.Payload = buf.data[:buf.total]
+		whole.FragID = 0
+		whole.FragOffset = 0
+		whole.MoreFrags = false
+		whole.Claimed = false
+		return &whole
+	}
+	return nil
+}
+
+// Pending reports datagrams awaiting fragments (tests).
+func (r *reassembly) Pending() int { return len(r.parts) }

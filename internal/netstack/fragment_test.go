@@ -1,0 +1,149 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+func TestUDPFragmentsOverEthernet(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	var got []byte
+	_ = b.stack.UDP().Bind(9, InKernelDelivery, func(p *Packet) { got = p.Payload })
+	payload := bytes.Repeat([]byte{0xAB}, 8132) // > 1500 MTU: must fragment
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, payload)
+	cl.Run(0)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled %d bytes, want %d", len(got), len(payload))
+	}
+	sent, _, _, _ := a.nic.Stats()
+	if sent < 6 {
+		t.Errorf("only %d frames sent for an 8132B datagram over 1500 MTU", sent)
+	}
+	if b.stack.reasm.Pending() != 0 {
+		t.Errorf("reassembly buffers leaked: %d", b.stack.reasm.Pending())
+	}
+}
+
+func TestNoFragmentationUnderMTU(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	var got *Packet
+	_ = b.stack.UDP().Bind(9, InKernelDelivery, func(p *Packet) { got = p })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, make([]byte, 1000))
+	cl.Run(0)
+	if got == nil {
+		t.Fatal("no delivery")
+	}
+	sent, _, _, _ := a.nic.Stats()
+	if sent != 1 {
+		t.Errorf("%d frames for a sub-MTU datagram", sent)
+	}
+}
+
+func TestATMNoFragmentationFor8K(t *testing.T) {
+	// ATM's 9180-byte MTU carries the 8132-byte test packets whole (the
+	// Table 5 configuration).
+	a, b, cl := pair(t, sal.ForeModel)
+	var deliveries int
+	_ = b.stack.UDP().Bind(9, InKernelDelivery, func(p *Packet) { deliveries++ })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, make([]byte, 8132))
+	cl.Run(0)
+	sent, _, _, _ := a.nic.Stats()
+	if sent != 1 {
+		t.Errorf("ATM fragmented an 8132B datagram into %d frames", sent)
+	}
+	if deliveries != 1 {
+		t.Errorf("deliveries = %d", deliveries)
+	}
+}
+
+func TestFragmentLossLosesWholeDatagram(t *testing.T) {
+	// UDP has no recovery: if any fragment is lost the datagram never
+	// reassembles, and the partial buffer stays pending (bounded by the
+	// test; real stacks would time it out).
+	a, b, cl := pair(t, sal.LanceModel)
+	a.nic.InjectLoss(0.4, 13)
+	delivered := 0
+	_ = b.stack.UDP().Bind(9, InKernelDelivery, func(p *Packet) { delivered++ })
+	const n = 16
+	for i := 0; i < n; i++ {
+		_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, make([]byte, 4000))
+	}
+	cl.Run(0)
+	if delivered == n {
+		t.Error("no datagram lost despite fragment loss")
+	}
+	if a.nic.Dropped() == 0 {
+		t.Error("injection did not drop")
+	}
+}
+
+func TestInterleavedFragmentStreams(t *testing.T) {
+	// Fragments of datagrams from two senders interleave at the receiver;
+	// reassembly must keep them separate (keyed by source and id).
+	recv := newNetHost(t, "recv", Addr(10, 0, 0, 1), sal.LanceModel)
+	s1 := newNetHost(t, "s1", Addr(10, 0, 0, 2), sal.LanceModel)
+	s2 := newNetHost(t, "s2", Addr(10, 0, 0, 3), sal.LanceModel)
+	nic2 := sal.NewNIC(sal.LanceModel, recv.eng, recv.ic, sal.VecNIC1)
+	if err := sal.Connect(s1.nic, recv.nic); err != nil {
+		t.Fatal(err)
+	}
+	if err := sal.Connect(s2.nic, nic2); err != nil {
+		t.Fatal(err)
+	}
+	recv.stack.Attach(nic2)
+
+	var got [][]byte
+	_ = recv.stack.UDP().Bind(9, InKernelDelivery, func(p *Packet) {
+		got = append(got, append([]byte(nil), p.Payload...))
+	})
+	p1 := bytes.Repeat([]byte{1}, 5000)
+	p2 := bytes.Repeat([]byte{2}, 5000)
+	_ = s1.stack.UDP().Send(1, Addr(10, 0, 0, 1), 9, p1)
+	_ = s2.stack.UDP().Send(1, Addr(10, 0, 0, 1), 9, p2)
+	sim.NewCluster(recv.eng, s1.eng, s2.eng).Run(0)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d datagrams", len(got))
+	}
+	seen := map[byte]bool{}
+	for _, d := range got {
+		if len(d) != 5000 {
+			t.Fatalf("datagram length %d", len(d))
+		}
+		for _, v := range d {
+			if v != d[0] {
+				t.Fatal("interleaved fragments mixed payloads")
+			}
+		}
+		seen[d[0]] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Error("missing one sender's datagram")
+	}
+}
+
+// Property: any payload size round-trips through fragmentation and
+// reassembly byte-for-byte.
+func TestFragmentationRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint16) bool {
+		size := int(seed)%20000 + 1
+		a, b, cl := pair(t, sal.LanceModel)
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i ^ int(seed))
+		}
+		var got []byte
+		_ = b.stack.UDP().Bind(9, InKernelDelivery, func(p *Packet) { got = p.Payload })
+		_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, payload)
+		cl.Run(0)
+		return bytes.Equal(got, payload)
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,533 @@
+package netstack
+
+import (
+	"strings"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+func domainIdent(name string) domain.Identity { return domain.Identity{Name: name} }
+
+// host bundles one simulated machine's networking for tests.
+type host struct {
+	eng   *sim.Engine
+	disp  *dispatch.Dispatcher
+	ic    *sal.InterruptController
+	nic   *sal.NIC
+	stack *Stack
+}
+
+func newNetHost(t *testing.T, name string, ip IPAddr, model sal.NICModel) *host {
+	t.Helper()
+	eng := sim.NewEngine()
+	prof := &sim.SPINProfile
+	disp := dispatch.New(eng, prof)
+	ic := sal.NewInterruptController(eng, prof)
+	nic := sal.NewNIC(model, eng, ic, sal.VecNIC0)
+	stack, err := NewStack(name, ip, eng, prof, disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack.Attach(nic)
+	return &host{eng: eng, disp: disp, ic: ic, nic: nic, stack: stack}
+}
+
+// pair returns two connected hosts and their cluster.
+func pair(t *testing.T, model sal.NICModel) (*host, *host, *sim.Cluster) {
+	t.Helper()
+	a := newNetHost(t, "a", Addr(10, 0, 0, 1), model)
+	b := newNetHost(t, "b", Addr(10, 0, 0, 2), model)
+	if err := sal.Connect(a.nic, b.nic); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, sim.NewCluster(a.eng, b.eng)
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(10, 1, 2, 3).String(); got != "10.1.2.3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPacketWireSize(t *testing.T) {
+	p := &Packet{Proto: ProtoUDP, Payload: make([]byte, 100)}
+	if got := p.WireSize(); got != EtherHeader+IPHeader+UDPHeader+100 {
+		t.Errorf("WireSize = %d", got)
+	}
+	p.Proto = ProtoTCP
+	if got := p.WireSize(); got != EtherHeader+IPHeader+TCPHeader+100 {
+		t.Errorf("tcp WireSize = %d", got)
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := &Packet{Payload: []byte("abc"), Claimed: true}
+	q := p.Clone()
+	q.Payload[0] = 'x'
+	if p.Payload[0] != 'a' {
+		t.Error("clone aliases payload")
+	}
+	if q.Claimed {
+		t.Error("clone kept Claimed")
+	}
+}
+
+func TestICMPPing(t *testing.T) {
+	a, _, cl := pair(t, sal.LanceModel)
+	var rtt sim.Duration
+	if err := a.stack.Ping(Addr(10, 0, 0, 2), 1, 16, func(d sim.Duration) { rtt = d }); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(0)
+	if rtt == 0 {
+		t.Fatal("no ping reply")
+	}
+	if rtt < 100*sim.Microsecond || rtt > 2*sim.Millisecond {
+		t.Errorf("ping rtt = %v, implausible", rtt)
+	}
+}
+
+func TestUDPEcho(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	if err := b.stack.UDP().Echo(7, InKernelDelivery); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := a.stack.UDP().Bind(5000, InKernelDelivery, func(pkt *Packet) {
+		got = pkt.Payload
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.stack.UDP().Send(5000, Addr(10, 0, 0, 2), 7, []byte("ping me"))
+	cl.Run(0)
+	if string(got) != "ping me" {
+		t.Errorf("echoed %q", got)
+	}
+}
+
+func TestUDPPortConflictAndUnbind(t *testing.T) {
+	a, _, _ := pair(t, sal.LanceModel)
+	if err := a.stack.UDP().Bind(9, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.stack.UDP().Bind(9, nil, nil); err == nil {
+		t.Error("duplicate bind accepted")
+	}
+	a.stack.UDP().Unbind(9)
+	if err := a.stack.UDP().Bind(9, nil, nil); err != nil {
+		t.Errorf("rebind after unbind: %v", err)
+	}
+}
+
+func TestUDPGuardedDemux(t *testing.T) {
+	// An extension installs on UDP.PktArrived with a port guard — the
+	// packet never reaches the port table.
+	a, b, cl := pair(t, sal.LanceModel)
+	var extGot, portGot int
+	_, err := b.disp.Install(EvUDPArrived, func(arg, _ any) any {
+		extGot++
+		return true // claim
+	}, dispatch.InstallOptions{Guard: func(arg any) bool {
+		p, ok := arg.(*Packet)
+		return ok && p.DstPort == 99
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.stack.UDP().Bind(99, nil, func(*Packet) { portGot++ })
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 99, []byte("x"))
+	cl.Run(0)
+	if extGot != 1 || portGot != 0 {
+		t.Errorf("ext=%d port=%d; extension should intercept", extGot, portGot)
+	}
+}
+
+func TestIPAuthorizerProtocolGuard(t *testing.T) {
+	// The IP module's authorizer constrains installers to their declared
+	// protocol (paper's worked example).
+	a, b, cl := pair(t, sal.LanceModel)
+	var got []uint8
+	_, err := b.disp.Install(EvIPArrived, func(arg, _ any) any {
+		got = append(got, arg.(*Packet).Proto)
+		return false // observe only
+	}, dispatch.InstallOptions{Installer: domainIdent("proto:17:udp-watcher")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, []byte("u"))
+	_ = a.stack.Ping(Addr(10, 0, 0, 2), 3, 8, nil)
+	cl.Run(0)
+	for _, p := range got {
+		if p != ProtoUDP {
+			t.Errorf("watcher saw proto %d", p)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("watcher saw nothing")
+	}
+}
+
+func TestTCPConnectSendClose(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	var serverGot []byte
+	serverClosed := false
+	err := b.stack.TCP().Listen(80, nil, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) {
+			serverGot = append(serverGot, data...)
+		}
+		c.OnClose = func(c *Conn) {
+			serverClosed = true
+			c.Close()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.OnConnect = func(c *Conn) {
+		_ = c.Send([]byte("hello tcp"))
+		c.Close()
+	}
+	cl.Run(0)
+	if string(serverGot) != "hello tcp" {
+		t.Errorf("server got %q", serverGot)
+	}
+	if !serverClosed {
+		t.Error("server never saw close")
+	}
+	if conn.State() != StateClosed {
+		t.Errorf("client state %v", conn.State())
+	}
+	if got := a.stack.TCP().Conns() + b.stack.TCP().Conns(); got != 0 {
+		t.Errorf("%d connections leaked", got)
+	}
+}
+
+func TestTCPLargeTransfer(t *testing.T) {
+	// Multi-segment transfer exercises windowing and cumulative ACKs.
+	a, b, cl := pair(t, sal.LanceModel)
+	const total = 64 * 1024
+	var received int
+	_ = b.stack.TCP().Listen(80, nil, func(c *Conn) {
+		c.OnData = func(c *Conn, data []byte) { received += len(data) }
+	})
+	conn, _ := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+	conn.OnConnect = func(c *Conn) {
+		_ = c.Send(make([]byte, total))
+	}
+	cl.Run(0)
+	if received != total {
+		t.Errorf("received %d of %d", received, total)
+	}
+	if conn.Retransmits() != 0 {
+		t.Errorf("lossless link retransmitted %d times", conn.Retransmits())
+	}
+}
+
+func TestTCPRefusedPortGetsReset(t *testing.T) {
+	a, _, cl := pair(t, sal.LanceModel)
+	conn, _ := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 81, nil)
+	connected := false
+	conn.OnConnect = func(*Conn) { connected = true }
+	cl.Run(sim.Time(2 * sim.Second))
+	if connected {
+		t.Error("connected to closed port")
+	}
+	if conn.State() != StateClosed {
+		t.Errorf("state = %v, want CLOSED after RST", conn.State())
+	}
+}
+
+func TestTCPStateStrings(t *testing.T) {
+	if StateEstablished.String() != "ESTABLISHED" || StateClosed.String() != "CLOSED" {
+		t.Error("state names wrong")
+	}
+	if (FlagSYN | FlagACK).String() != "SA" {
+		t.Errorf("flags = %q", (FlagSYN | FlagACK).String())
+	}
+}
+
+func TestForwarderUDP(t *testing.T) {
+	// Three hosts: client -> mid (forwarder) -> server, and back.
+	client := newNetHost(t, "client", Addr(10, 0, 0, 1), sal.LanceModel)
+	mid := newNetHost(t, "mid", Addr(10, 0, 0, 2), sal.LanceModel)
+	server := newNetHost(t, "server", Addr(10, 0, 0, 3), sal.LanceModel)
+	// mid has two NICs: one to client, one to server.
+	mid2 := sal.NewNIC(sal.LanceModel, mid.eng, mid.ic, sal.VecNIC1)
+	if err := sal.Connect(client.nic, mid.nic); err != nil {
+		t.Fatal(err)
+	}
+	if err := sal.Connect(mid2, server.nic); err != nil {
+		t.Fatal(err)
+	}
+	mid.stack.Attach(mid2)
+	mid.stack.AddRoute(Addr(10, 0, 0, 1), mid.nic)
+	mid.stack.AddRoute(Addr(10, 0, 0, 3), mid2)
+
+	fwd, err := NewForwarder(mid.stack, ProtoUDP, 7, Addr(10, 0, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := NewReverseForwarder(mid.stack, ProtoUDP, 7, Addr(10, 0, 0, 3), Addr(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = server.stack.UDP().Echo(7, InKernelDelivery)
+	var got []byte
+	_ = client.stack.UDP().Bind(5000, nil, func(p *Packet) { got = p.Payload })
+	// Client sends to MID's address; the forwarder redirects to server.
+	_ = client.stack.UDP().Send(5000, Addr(10, 0, 0, 2), 7, []byte("via mid"))
+	cl := sim.NewCluster(client.eng, mid.eng, server.eng)
+	cl.Run(0)
+	if string(got) != "via mid" {
+		t.Fatalf("reply = %q", got)
+	}
+	if fwd.Forwarded != 1 || rev.Forwarded != 1 {
+		t.Errorf("forward counts = %d,%d", fwd.Forwarded, rev.Forwarded)
+	}
+}
+
+func TestForwarderPreservesTCPEndToEnd(t *testing.T) {
+	// TCP through the in-kernel forwarder: the handshake and teardown run
+	// end-to-end between client and server (control packets forwarded
+	// too) — the property the user-level splice cannot preserve.
+	client := newNetHost(t, "client", Addr(10, 0, 0, 1), sal.LanceModel)
+	mid := newNetHost(t, "mid", Addr(10, 0, 0, 2), sal.LanceModel)
+	server := newNetHost(t, "server", Addr(10, 0, 0, 3), sal.LanceModel)
+	mid2 := sal.NewNIC(sal.LanceModel, mid.eng, mid.ic, sal.VecNIC1)
+	_ = sal.Connect(client.nic, mid.nic)
+	_ = sal.Connect(mid2, server.nic)
+	mid.stack.Attach(mid2)
+	mid.stack.AddRoute(Addr(10, 0, 0, 1), mid.nic)
+	mid.stack.AddRoute(Addr(10, 0, 0, 3), mid2)
+	_, _ = NewForwarder(mid.stack, ProtoTCP, 80, Addr(10, 0, 0, 3))
+	_, _ = NewReverseForwarder(mid.stack, ProtoTCP, 80, Addr(10, 0, 0, 3), Addr(10, 0, 0, 1))
+
+	var got []byte
+	_ = server.stack.TCP().Listen(80, nil, func(c *Conn) {
+		c.OnData = func(c *Conn, d []byte) {
+			got = append(got, d...)
+			c.Close()
+		}
+	})
+	conn, _ := client.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+	conn.OnConnect = func(c *Conn) { _ = c.Send([]byte("tcp thru fwd")) }
+	cl := sim.NewCluster(client.eng, mid.eng, server.eng)
+	cl.Run(sim.Time(5 * sim.Second))
+	if string(got) != "tcp thru fwd" {
+		t.Errorf("server got %q", got)
+	}
+	// Mid never terminated the connection: no TCP state there.
+	if mid.stack.TCP().Conns() != 0 {
+		t.Error("forwarder host holds TCP state; splice semantics leaked in")
+	}
+}
+
+func TestHTTPServerAndClient(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	content := ContentMap{"/index.html": []byte("<h1>SPIN</h1>")}
+	srv, err := NewHTTPServer(b.stack, 80, nil, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status string
+	var body []byte
+	err = HTTPGet(a.stack, Addr(10, 0, 0, 2), 80, "/index.html", nil, func(s string, b []byte) {
+		status, body = s, b
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(sim.Time(5 * sim.Second))
+	if !strings.Contains(status, "200") {
+		t.Errorf("status = %q", status)
+	}
+	if string(body) != "<h1>SPIN</h1>" {
+		t.Errorf("body = %q", body)
+	}
+	if srv.Requests != 1 {
+		t.Errorf("requests = %d", srv.Requests)
+	}
+}
+
+func TestHTTP404(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	srv, _ := NewHTTPServer(b.stack, 80, nil, ContentMap{})
+	var status string
+	_ = HTTPGet(a.stack, Addr(10, 0, 0, 2), 80, "/nope", nil, func(s string, _ []byte) { status = s })
+	cl.Run(sim.Time(5 * sim.Second))
+	if !strings.Contains(status, "404") {
+		t.Errorf("status = %q", status)
+	}
+	if srv.NotFound != 1 {
+		t.Errorf("notfound = %d", srv.NotFound)
+	}
+}
+
+func TestActiveMessages(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	amA, err := NewActiveMessages(a.stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amB, err := NewActiveMessages(b.stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	amB.Register(5, func(src IPAddr, arg uint64, payload []byte) {
+		got = arg
+		// Reply with arg+1 to handler 6 on the source.
+		_ = amB.Send(src, 6, arg+1, nil)
+	})
+	var replied uint64
+	amA.Register(6, func(_ IPAddr, arg uint64, _ []byte) { replied = arg })
+	_ = amA.Send(Addr(10, 0, 0, 2), 5, 41, []byte("am"))
+	cl.Run(0)
+	if got != 41 || replied != 42 {
+		t.Errorf("got=%d replied=%d", got, replied)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	amA, _ := NewActiveMessages(a.stack)
+	amB, _ := NewActiveMessages(b.stack)
+	_ = NewRPC(amB).exportDouble()
+	rpcA := NewRPC(amA)
+	var result []byte
+	if err := rpcA.Call(Addr(10, 0, 0, 2), 7, []byte("abc"), func(r []byte) { result = r }); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(0)
+	if string(result) != "abcabc" {
+		t.Errorf("result = %q", result)
+	}
+	if rpcA.Pending() != 0 {
+		t.Errorf("pending = %d", rpcA.Pending())
+	}
+	if err := rpcA.Call(Addr(10, 0, 0, 2), 7, nil, nil); err == nil {
+		t.Error("nil continuation accepted")
+	}
+}
+
+// exportDouble registers proc 7 = payload doubling; helper keeps the test
+// terse.
+func (r *RPC) exportDouble() *RPC {
+	r.Export(7, func(arg []byte) []byte { return append(arg, arg...) })
+	return r
+}
+
+func TestVideoMulticast(t *testing.T) {
+	// One server, three clients on a shared T3 segment (star via
+	// separate links in the model: each client its own NIC pair).
+	srv := newNetHost(t, "server", Addr(10, 0, 1, 1), sal.T3Model)
+	var clients []*host
+	var engines []*sim.Engine
+	engines = append(engines, srv.eng)
+	for i := 0; i < 3; i++ {
+		c := newNetHost(t, "client", Addr(10, 0, 1, byte(10+i)), sal.T3Model)
+		nic := sal.NewNIC(sal.T3Model, srv.eng, srv.ic, sal.InterruptVector(10+i))
+		if err := sal.Connect(nic, c.nic); err != nil {
+			t.Fatal(err)
+		}
+		srv.stack.AddRoute(c.stack.IP, nic)
+		clients = append(clients, c)
+		engines = append(engines, c.eng)
+	}
+	vs, err := NewVideoServer(srv.stack, 6000, func(frame int) []byte {
+		return make([]byte, 1400)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vcs []*VideoClient
+	for _, c := range clients {
+		vc, err := NewVideoClient(c.stack, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vcs = append(vcs, vc)
+		vs.Subscribe(c.stack.IP)
+	}
+	for f := 0; f < 5; f++ {
+		vs.SendFrame(f)
+	}
+	sim.NewCluster(engines...).Run(0)
+	if vs.FramesSent != 5 {
+		t.Errorf("frames sent = %d", vs.FramesSent)
+	}
+	if vs.PacketsSent != 15 {
+		t.Errorf("packets sent = %d, want 15 (5 frames x 3 clients)", vs.PacketsSent)
+	}
+	for i, vc := range vcs {
+		if vc.FramesShown != 5 {
+			t.Errorf("client %d showed %d frames", i, vc.FramesShown)
+		}
+		if vc.LastFrame != 4 {
+			t.Errorf("client %d last frame %d", i, vc.LastFrame)
+		}
+	}
+}
+
+func TestGraphRendering(t *testing.T) {
+	a, _, _ := pair(t, sal.LanceModel)
+	_ = a.stack.UDP().Bind(7, nil, nil)
+	_ = a.stack.TCP().Listen(80, nil, nil)
+	g := a.stack.Graph()
+	for _, want := range []string{"IP.PacketArrived", "UDP ports: 7", "TCP listeners: 80", "proto:1:ping"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("graph missing %q:\n%s", want, g)
+		}
+	}
+}
+
+func TestStackNoRoute(t *testing.T) {
+	eng := sim.NewEngine()
+	disp := dispatch.New(eng, &sim.SPINProfile)
+	s, err := NewStack("lonely", Addr(1, 1, 1, 1), eng, &sim.SPINProfile, disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendIP(&Packet{Dst: Addr(2, 2, 2, 2)}); err != ErrNoRoute {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestVideoClientWithFramebuffer(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	vc, err := NewVideoClient(b.stack, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := sal.NewFramebuffer(b.eng.Clock, 320, 240)
+	vc.AttachFramebuffer(fb)
+	vs, err := NewVideoServer(a.stack, 6000, func(int) []byte {
+		frame := make([]byte, 1000)
+		for i := range frame {
+			frame[i] = 0x5A
+		}
+		return frame
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs.Subscribe(b.stack.IP)
+	vs.SendFrame(0)
+	cl.Run(0)
+	frames, _ := fb.Stats()
+	if frames != 1 {
+		t.Fatalf("framebuffer frames = %d", frames)
+	}
+	px, _ := fb.Pixel(0, 0)
+	if px != 0x5A {
+		t.Errorf("pixel = %#x, want 0x5A", px)
+	}
+}

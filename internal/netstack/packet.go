@@ -1,0 +1,148 @@
+// Package netstack implements SPIN's network protocol architecture (paper
+// §5.3, Figure 5): a protocol graph in which each incoming packet is
+// "pushed" through by events and "pulled" by handlers. Handlers at the top
+// of the graph can process a message entirely within the kernel — that is
+// what the forwarder, HTTP, video and active-message extensions in this
+// package do — or copy it out to an application (which is what the OSF/1
+// baseline models).
+//
+// The stack is real: IP with per-protocol guarded dispatch, ICMP echo, UDP
+// ports, and a compact TCP with handshake, sliding window, retransmission
+// and slow start. Costs are charged to the owning machine's virtual clock;
+// frames travel between machines over sal NIC/link models.
+package netstack
+
+import "fmt"
+
+// IPAddr is an IPv4-style address.
+type IPAddr uint32
+
+// Addr builds an address from dotted quads.
+func Addr(a, b, c, d byte) IPAddr {
+	return IPAddr(a)<<24 | IPAddr(b)<<16 | IPAddr(c)<<8 | IPAddr(d)
+}
+
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// TCPFlags is the TCP flag set.
+type TCPFlags uint8
+
+// TCP flags.
+const (
+	FlagSYN TCPFlags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+func (f TCPFlags) String() string {
+	s := ""
+	if f&FlagSYN != 0 {
+		s += "S"
+	}
+	if f&FlagACK != 0 {
+		s += "A"
+	}
+	if f&FlagFIN != 0 {
+		s += "F"
+	}
+	if f&FlagRST != 0 {
+		s += "R"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Header sizes in bytes.
+const (
+	EtherHeader = 14
+	IPHeader    = 20
+	UDPHeader   = 8
+	TCPHeader   = 20
+	ICMPHeader  = 8
+)
+
+// Packet is one packet traversing the graph. It carries all layers' fields
+// at once (the simulation passes the object by reference; only sizes affect
+// timing).
+type Packet struct {
+	Src, Dst IPAddr
+	Proto    uint8
+
+	// Transport.
+	SrcPort, DstPort uint16
+
+	// TCP.
+	Seq, Ack uint32
+	Flags    TCPFlags
+	Window   int
+
+	// ICMP.
+	ICMPType uint8 // 8 echo request, 0 echo reply
+	ICMPSeq  uint16
+
+	Payload []byte
+
+	// Claimed is set by an extension that consumed the packet at some
+	// layer, suppressing default downstream processing (how the
+	// forwarder intercepts packets below the transport).
+	Claimed bool
+
+	// TTL guards against forwarding loops.
+	TTL int
+
+	// IP fragmentation: FragID groups the fragments of one datagram,
+	// FragOffset is this fragment's payload offset, MoreFrags marks
+	// non-final fragments.
+	FragID     uint32
+	FragOffset int
+	MoreFrags  bool
+}
+
+// WireSize returns the packet's size on the wire including link, network
+// and transport headers.
+func (p *Packet) WireSize() int {
+	n := EtherHeader + IPHeader + len(p.Payload)
+	switch p.Proto {
+	case ProtoUDP:
+		n += UDPHeader
+	case ProtoTCP:
+		n += TCPHeader
+	case ProtoICMP:
+		n += ICMPHeader
+	}
+	return n
+}
+
+// Clone returns a deep copy (payload included); forwarding and multicast
+// paths copy so that later mutation does not alias.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	q.Claimed = false
+	return &q
+}
+
+func (p *Packet) String() string {
+	proto := "?"
+	switch p.Proto {
+	case ProtoICMP:
+		proto = "icmp"
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %v:%d->%v:%d len=%d", proto, p.Src, p.SrcPort, p.Dst, p.DstPort, len(p.Payload))
+}

@@ -1,0 +1,296 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// Event names in the protocol graph (Figure 5). Every event carries a
+// *Packet argument; handlers return true to claim the packet.
+const (
+	EvEtherArrived = "Ether.PktArrived"
+	EvATMArrived   = "ATM.PktArrived"
+	EvIPArrived    = "IP.PacketArrived"
+	EvICMPArrived  = "ICMP.PktArrived"
+	EvUDPArrived   = "UDP.PktArrived"
+	EvTCPArrived   = "TCP.PktArrived"
+	// EvSendPacket is raised on the outbound path; the video server's
+	// multicast extension installs here.
+	EvSendPacket = "Video.SendPacket"
+)
+
+// anyClaimed folds handler results: the packet is claimed if any handler
+// claimed it.
+func anyClaimed(results []any) any {
+	for _, r := range results {
+		if b, ok := r.(bool); ok && b {
+			return true
+		}
+	}
+	return false
+}
+
+// Endpoint delivery semantics differ between systems: a SPIN extension
+// receives the packet in the kernel for free (a procedure call); a user
+// process behind a socket pays the socket/copy/wakeup path. DeliveryCost
+// lets the baseline reuse this stack while charging its structure.
+type DeliveryCost func(clock *sim.Clock, p *Packet)
+
+// InKernelDelivery is SPIN's: the handler IS the endpoint; no extra cost
+// beyond the dispatch already charged.
+func InKernelDelivery(*sim.Clock, *Packet) {}
+
+// Stack is one machine's protocol stack. It attaches NIC drivers at the
+// bottom, defines the protocol-graph events on the machine's dispatcher,
+// and hosts the UDP/TCP port tables.
+type Stack struct {
+	Host    string
+	IP      IPAddr
+	engine  *sim.Engine
+	clock   *sim.Clock
+	profile *sim.Profile
+	disp    *dispatch.Dispatcher
+
+	// routes maps destination address -> outbound NIC.
+	routes map[IPAddr]*sal.NIC
+	// defaultNIC carries packets with no specific route.
+	defaultNIC *sal.NIC
+
+	udp *UDP
+	tcp *TCP
+
+	// fragID numbers outbound fragmented datagrams; reasm collects
+	// inbound fragments.
+	fragID uint32
+	reasm  *reassembly
+
+	received int64
+	sent     int64
+}
+
+// NewStack builds a protocol stack on the machine's dispatcher and defines
+// the graph events. ident names the stack for authorization purposes.
+func NewStack(host string, ip IPAddr, engine *sim.Engine, profile *sim.Profile, disp *dispatch.Dispatcher) (*Stack, error) {
+	s := &Stack{
+		Host:    host,
+		IP:      ip,
+		engine:  engine,
+		clock:   engine.Clock,
+		profile: profile,
+		disp:    disp,
+		routes:  make(map[IPAddr]*sal.NIC),
+		reasm:   newReassembly(),
+	}
+	// The IP module is the default implementation module for
+	// IP.PacketArrived: its authorizer hands each installer a guard
+	// comparing the packet's protocol type against what the handler may
+	// service (the paper's worked example). Installers declare the
+	// protocols they service via identity name prefix "proto:<n>:".
+	ipAuth := func(installer domain.Identity) (dispatch.Guard, error) {
+		var proto uint8
+		if n, err := fmt.Sscanf(installer.Name, "proto:%d:", &proto); n == 1 && err == nil {
+			p := proto
+			return func(arg any) bool {
+				pkt, ok := arg.(*Packet)
+				return ok && pkt.Proto == p
+			}, nil
+		}
+		return nil, nil // no protocol claim: unrestricted (trusted stack parts)
+	}
+	events := []struct {
+		name string
+		opts dispatch.DefineOptions
+	}{
+		{EvEtherArrived, dispatch.DefineOptions{Combiner: anyClaimed}},
+		{EvATMArrived, dispatch.DefineOptions{Combiner: anyClaimed}},
+		{EvIPArrived, dispatch.DefineOptions{Combiner: anyClaimed, Authorizer: ipAuth}},
+		{EvICMPArrived, dispatch.DefineOptions{Combiner: anyClaimed}},
+		{EvUDPArrived, dispatch.DefineOptions{Combiner: anyClaimed}},
+		{EvTCPArrived, dispatch.DefineOptions{Combiner: anyClaimed}},
+		{EvSendPacket, dispatch.DefineOptions{Combiner: anyClaimed}},
+	}
+	for _, e := range events {
+		if err := disp.Define(e.name, e.opts); err != nil {
+			return nil, err
+		}
+	}
+	s.udp = newUDP(s)
+	s.tcp = newTCP(s)
+
+	// ICMP echo: the Ping module's primary handler.
+	_, err := disp.Install(EvICMPArrived, func(arg, _ any) any {
+		pkt := arg.(*Packet)
+		if pkt.ICMPType == 8 { // echo request -> reply
+			reply := &Packet{
+				Src: s.IP, Dst: pkt.Src, Proto: ProtoICMP,
+				ICMPType: 0, ICMPSeq: pkt.ICMPSeq,
+				Payload: append([]byte(nil), pkt.Payload...),
+				TTL:     32,
+			}
+			_ = s.SendIP(reply)
+			return true
+		}
+		return false
+	}, dispatch.InstallOptions{Installer: domain.Identity{Name: "proto:1:ping", Trusted: true}})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// UDP exposes the stack's UDP module.
+func (s *Stack) UDP() *UDP { return s.udp }
+
+// TCP exposes the stack's TCP module.
+func (s *Stack) TCP() *TCP { return s.tcp }
+
+// Dispatcher exposes the machine dispatcher (extensions install handlers
+// through it).
+func (s *Stack) Dispatcher() *dispatch.Dispatcher { return s.disp }
+
+// Engine exposes the machine engine (timers).
+func (s *Stack) Engine() *sim.Engine { return s.engine }
+
+// Clock exposes the machine clock.
+func (s *Stack) Clock() *sim.Clock { return s.clock }
+
+// Profile exposes the machine cost profile.
+func (s *Stack) Profile() *sim.Profile { return s.profile }
+
+// Attach connects a NIC as a driver at the bottom of the graph. The first
+// attached NIC becomes the default route. Incoming frames are handed to a
+// separately scheduled protocol-processing step (one context switch), then
+// pushed up through the event graph.
+func (s *Stack) Attach(nic *sal.NIC) {
+	if s.defaultNIC == nil {
+		s.defaultNIC = nic
+	}
+	linkEvent := EvEtherArrived
+	if nic.Model.CellSize > 0 {
+		linkEvent = EvATMArrived
+	}
+	nic.OnReceive = func(f sal.NetFrame) {
+		pkt, ok := f.Payload.(*Packet)
+		if !ok {
+			return
+		}
+		// Protocol processing runs in a separately scheduled kernel
+		// thread outside the interrupt handler (paper §5.3).
+		s.engine.After(0, func() {
+			s.clock.Advance(s.profile.ContextSwitch)
+			s.receive(linkEvent, pkt)
+		})
+	}
+}
+
+// AddRoute directs packets for dst out through nic.
+func (s *Stack) AddRoute(dst IPAddr, nic *sal.NIC) {
+	s.routes[dst] = nic
+}
+
+// receive pushes one packet up the graph.
+func (s *Stack) receive(linkEvent string, pkt *Packet) {
+	s.received++
+	// Link layer processing + event.
+	s.clock.Advance(s.profile.ProtoLayer)
+	if claimed, _ := s.disp.Raise(linkEvent, pkt).(bool); claimed {
+		return
+	}
+	// IP layer: header validation, checksum over header.
+	s.clock.Advance(s.profile.ProtoLayer)
+	if claimed, _ := s.disp.Raise(EvIPArrived, pkt).(bool); claimed {
+		return
+	}
+	if pkt.Dst != s.IP {
+		// Not ours and nobody claimed it: drop (no transparent
+		// routing unless a forwarder extension claims it).
+		return
+	}
+	// Reassemble fragmented datagrams before transport processing.
+	if pkt.MoreFrags || pkt.FragID != 0 {
+		s.clock.Advance(s.profile.ProtoLayer / 2)
+		whole := s.reasm.reassemble(pkt)
+		if whole == nil {
+			return // awaiting more fragments
+		}
+		pkt = whole
+	}
+	// Transport layer: header processing plus checksum verification over
+	// the payload.
+	s.clock.Advance(s.profile.ProtoLayer)
+	s.clock.Advance(sim.Duration(len(pkt.Payload)) * ChecksumPerByte)
+	switch pkt.Proto {
+	case ProtoICMP:
+		s.disp.Raise(EvICMPArrived, pkt)
+	case ProtoUDP:
+		if claimed, _ := s.disp.Raise(EvUDPArrived, pkt).(bool); !claimed {
+			s.udp.deliver(pkt)
+		}
+	case ProtoTCP:
+		if claimed, _ := s.disp.Raise(EvTCPArrived, pkt).(bool); !claimed {
+			s.tcp.deliver(pkt)
+		}
+	}
+}
+
+// ErrNoRoute reports a destination with no attached NIC.
+var ErrNoRoute = errors.New("netstack: no route to host")
+
+// ChecksumPerByte is the CPU cost of checksumming one payload byte
+// (~1 cycle/byte at 133 MHz). Charged once on send and once on receive.
+const ChecksumPerByte = 8 * sim.Nanosecond
+
+// SendIP transmits pkt: transport+IP header build, then the driver.
+func (s *Stack) SendIP(pkt *Packet) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = 32
+	}
+	nic := s.routes[pkt.Dst]
+	if nic == nil {
+		nic = s.defaultNIC
+	}
+	if nic == nil {
+		return ErrNoRoute
+	}
+	// Transport + IP header construction, plus the transport checksum
+	// over the payload.
+	s.clock.Advance(2 * s.profile.ProtoLayer)
+	s.clock.Advance(sim.Duration(len(pkt.Payload)) * ChecksumPerByte)
+	s.sent++
+	if mtu := mtuFor(nic); pkt.WireSize()-EtherHeader > mtu {
+		return s.sendFragmented(pkt, nic, mtu)
+	}
+	return nic.Send(sal.NetFrame{Size: pkt.WireSize(), Payload: pkt})
+}
+
+// Ping sends an ICMP echo request; reply invokes cb with the round-trip
+// observed at this stack's clock.
+func (s *Stack) Ping(dst IPAddr, seq uint16, payload int, cb func(rtt sim.Duration)) error {
+	start := s.clock.Now()
+	ref, err := s.disp.Install(EvICMPArrived, func(arg, _ any) any {
+		pkt := arg.(*Packet)
+		if pkt.ICMPType == 0 && pkt.ICMPSeq == seq {
+			if cb != nil {
+				cb(s.clock.Now().Sub(start))
+			}
+			return true
+		}
+		return false
+	}, dispatch.InstallOptions{Installer: domain.Identity{Name: "proto:1:ping-client"}})
+	if err != nil {
+		return err
+	}
+	_ = ref
+	return s.SendIP(&Packet{
+		Src: s.IP, Dst: dst, Proto: ProtoICMP,
+		ICMPType: 8, ICMPSeq: seq, Payload: make([]byte, payload), TTL: 32,
+	})
+}
+
+// Stats reports packets received and sent at the IP layer.
+func (s *Stack) Stats() (received, sent int64) { return s.received, s.sent }

@@ -1,0 +1,535 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+
+	"spin/internal/sim"
+)
+
+// TCPState is a connection state (RFC 793 subset).
+type TCPState int
+
+// Connection states.
+const (
+	StateClosed TCPState = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateLastAck
+	StateTimeWait
+)
+
+func (s TCPState) String() string {
+	names := []string{"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+		"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "LAST_ACK", "TIME_WAIT"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// DefaultMSS is the default maximum segment size (Ethernet-friendly).
+const DefaultMSS = 1460
+
+// rcvWindow is the fixed receive window advertised (bytes).
+const rcvWindow = 32 * 1024
+
+// retxTimeout is the (fixed) retransmission timeout.
+const retxTimeout = 200 * sim.Millisecond
+
+// timeWaitDelay is the TIME_WAIT linger before the connection is reaped.
+const timeWaitDelay = 500 * sim.Millisecond
+
+type connKey struct {
+	remote     IPAddr
+	remotePort uint16
+	localPort  uint16
+}
+
+// Conn is one TCP connection endpoint.
+type Conn struct {
+	tcp        *TCP
+	state      TCPState
+	remote     IPAddr
+	localPort  uint16
+	remotePort uint16
+
+	mss int
+
+	// Send side.
+	sndUna, sndNxt uint32
+	sendBuf        []byte // not yet segmented
+	inflight       []segment
+	cwnd           int // congestion window, segments
+	ssthresh       int // slow-start threshold, segments
+	sndWnd         int // peer's advertised window, bytes
+	retxEv         *sim.Event
+	retransmits    int64
+
+	// Receive side.
+	rcvNxt uint32
+
+	delivery DeliveryCost
+
+	// OnConnect fires when the connection reaches ESTABLISHED.
+	OnConnect func(*Conn)
+	// OnData receives in-order payload bytes.
+	OnData func(*Conn, []byte)
+	// OnClose fires when the connection fully closes.
+	OnClose func(*Conn)
+
+	// acceptCb is the listener's accept callback, held until the
+	// handshake completes on server-side connections.
+	acceptCb func(*Conn)
+
+	peerClosed bool
+	closed     bool
+}
+
+type segment struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// State reports the connection state.
+func (c *Conn) State() TCPState { return c.state }
+
+// Remote reports the peer address/port.
+func (c *Conn) Remote() (IPAddr, uint16) { return c.remote, c.remotePort }
+
+// Retransmits reports how many segments were retransmitted.
+func (c *Conn) Retransmits() int64 { return c.retransmits }
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	port   uint16
+	cost   DeliveryCost
+	accept func(*Conn)
+}
+
+// TCP is the stack's TCP module. The paper notes SPIN used the DEC OSF/1
+// TCP engine as a kernel-asserted extension; here the engine is implemented
+// natively, which only strengthens the reproduction.
+type TCP struct {
+	stack     *Stack
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+}
+
+func newTCP(s *Stack) *TCP {
+	return &TCP{
+		stack:     s,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  30000,
+	}
+}
+
+// Listen accepts connections on port; accept runs when a connection reaches
+// ESTABLISHED.
+func (t *TCP) Listen(port uint16, cost DeliveryCost, accept func(*Conn)) error {
+	if _, dup := t.listeners[port]; dup {
+		return fmt.Errorf("netstack: TCP port %d in use", port)
+	}
+	if cost == nil {
+		cost = InKernelDelivery
+	}
+	t.listeners[port] = &Listener{port: port, cost: cost, accept: accept}
+	return nil
+}
+
+// Unlisten stops accepting on port.
+func (t *TCP) Unlisten(port uint16) { delete(t.listeners, port) }
+
+// Connect opens a connection to dst:port. The returned Conn is in SYN_SENT;
+// OnConnect fires at ESTABLISHED.
+func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error) {
+	if cost == nil {
+		cost = InKernelDelivery
+	}
+	local := t.ephemeralPort()
+	c := &Conn{
+		tcp: t, state: StateSynSent,
+		remote: dst, localPort: local, remotePort: port,
+		mss: DefaultMSS, cwnd: 1, ssthresh: 16, sndWnd: rcvWindow,
+		delivery: cost,
+		sndUna:   100, sndNxt: 100,
+	}
+	t.conns[connKey{dst, port, local}] = c
+	c.sendSeg(&Packet{Flags: FlagSYN, Seq: c.sndNxt, Window: rcvWindow})
+	c.sndNxt++
+	c.armRetx()
+	return c, nil
+}
+
+func (t *TCP) ephemeralPort() uint16 {
+	for {
+		t.nextPort++
+		free := true
+		for k := range t.conns {
+			if k.localPort == t.nextPort {
+				free = false
+				break
+			}
+		}
+		if free {
+			return t.nextPort
+		}
+	}
+}
+
+// Send queues payload for transmission.
+func (c *Conn) Send(payload []byte) error {
+	if c.closed || c.state != StateEstablished && c.state != StateCloseWait {
+		if c.state == StateSynSent || c.state == StateSynRcvd {
+			// Queue until established.
+			c.sendBuf = append(c.sendBuf, payload...)
+			return nil
+		}
+		return errors.New("netstack: send on non-established connection")
+	}
+	c.sendBuf = append(c.sendBuf, payload...)
+	c.pump()
+	return nil
+}
+
+// Close begins an orderly shutdown.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	switch c.state {
+	case StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	default:
+		c.teardown()
+		return
+	}
+	c.queueFIN()
+}
+
+func (c *Conn) queueFIN() {
+	// FIN rides after any queued data; represent as zero-data fin
+	// segment appended once the buffer drains.
+	c.pump()
+	if len(c.sendBuf) == 0 {
+		c.sendFIN()
+	}
+	// Otherwise pump() sends it once data drains (checked in onAck).
+}
+
+func (c *Conn) sendFIN() {
+	c.sendSeg(&Packet{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+	c.inflight = append(c.inflight, segment{seq: c.sndNxt, fin: true})
+	c.sndNxt++
+	c.armRetx()
+}
+
+// pump sends as much buffered data as the congestion and peer windows
+// allow.
+func (c *Conn) pump() {
+	if c.state != StateEstablished && c.state != StateCloseWait &&
+		c.state != StateFinWait1 && c.state != StateLastAck {
+		return
+	}
+	for len(c.sendBuf) > 0 {
+		inFlightBytes := int(c.sndNxt - c.sndUna)
+		windowBytes := c.cwnd * c.mss
+		if windowBytes > c.sndWnd {
+			windowBytes = c.sndWnd
+		}
+		if inFlightBytes >= windowBytes {
+			return // window full; ACKs will re-pump
+		}
+		n := c.mss
+		if n > len(c.sendBuf) {
+			n = len(c.sendBuf)
+		}
+		if n > windowBytes-inFlightBytes {
+			n = windowBytes - inFlightBytes
+		}
+		if n <= 0 {
+			return
+		}
+		data := append([]byte(nil), c.sendBuf[:n]...)
+		c.sendBuf = c.sendBuf[n:]
+		c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow, Payload: data})
+		c.inflight = append(c.inflight, segment{seq: c.sndNxt, data: data})
+		c.sndNxt += uint32(n)
+		c.armRetx()
+	}
+	if (c.state == StateFinWait1 || c.state == StateLastAck) && len(c.sendBuf) == 0 && !c.finInflight() {
+		c.sendFIN()
+	}
+}
+
+func (c *Conn) finInflight() bool {
+	for _, s := range c.inflight {
+		if s.fin {
+			return true
+		}
+	}
+	return false
+}
+
+// sendSeg fills in addressing and transmits one segment.
+func (c *Conn) sendSeg(p *Packet) {
+	p.Src = c.tcp.stack.IP
+	p.Dst = c.remote
+	p.Proto = ProtoTCP
+	p.SrcPort = c.localPort
+	p.DstPort = c.remotePort
+	p.TTL = 32
+	_ = c.tcp.stack.SendIP(p)
+}
+
+func (c *Conn) armRetx() {
+	if c.retxEv != nil && !c.retxEv.Cancelled() {
+		return
+	}
+	c.retxEv = c.tcp.stack.engine.After(retxTimeout, c.onRetxTimeout)
+}
+
+func (c *Conn) cancelRetx() {
+	if c.retxEv != nil {
+		c.retxEv.Cancel()
+		c.retxEv = nil
+	}
+}
+
+func (c *Conn) onRetxTimeout() {
+	c.retxEv = nil
+	if len(c.inflight) == 0 && c.state != StateSynSent && c.state != StateSynRcvd {
+		return
+	}
+	// Multiplicative decrease; back to slow start.
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 1 {
+		c.ssthresh = 1
+	}
+	c.cwnd = 1
+	c.retransmits++
+	switch c.state {
+	case StateSynSent:
+		c.sendSeg(&Packet{Flags: FlagSYN, Seq: c.sndUna, Window: rcvWindow})
+	case StateSynRcvd:
+		c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt, Window: rcvWindow})
+	default:
+		if len(c.inflight) > 0 {
+			s := c.inflight[0]
+			flags := FlagACK
+			if s.fin {
+				flags |= FlagFIN
+			}
+			c.sendSeg(&Packet{Flags: flags, Seq: s.seq, Ack: c.rcvNxt, Window: rcvWindow, Payload: s.data})
+		}
+	}
+	c.armRetx()
+}
+
+// deliver routes one inbound TCP segment.
+func (t *TCP) deliver(pkt *Packet) {
+	key := connKey{pkt.Src, pkt.SrcPort, pkt.DstPort}
+	if c, ok := t.conns[key]; ok {
+		c.handle(pkt)
+		return
+	}
+	// New connection? Must be a SYN to a listener.
+	l, ok := t.listeners[pkt.DstPort]
+	if !ok || pkt.Flags&FlagSYN == 0 || pkt.Flags&FlagACK != 0 {
+		if pkt.Flags&FlagRST == 0 {
+			t.reset(pkt)
+		}
+		return
+	}
+	c := &Conn{
+		tcp: t, state: StateSynRcvd,
+		remote: pkt.Src, localPort: pkt.DstPort, remotePort: pkt.SrcPort,
+		mss: DefaultMSS, cwnd: 1, ssthresh: 16,
+		sndWnd:   pkt.Window,
+		delivery: l.cost,
+		sndUna:   1000, sndNxt: 1000,
+		rcvNxt: pkt.Seq + 1,
+	}
+	t.conns[key] = c
+	c.acceptCb = l.accept
+	c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+	c.sndNxt++
+	c.armRetx()
+}
+
+// reset sends RST for an unexpected segment.
+func (t *TCP) reset(pkt *Packet) {
+	rst := &Packet{
+		Src: t.stack.IP, Dst: pkt.Src, Proto: ProtoTCP,
+		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+		Flags: FlagRST, Seq: pkt.Ack, TTL: 32,
+	}
+	_ = t.stack.SendIP(rst)
+}
+
+// handle runs the per-connection state machine for one segment.
+func (c *Conn) handle(pkt *Packet) {
+	c.delivery(c.tcp.stack.clock, pkt)
+	if pkt.Flags&FlagRST != 0 {
+		c.teardown()
+		return
+	}
+	if pkt.Window > 0 {
+		c.sndWnd = pkt.Window
+	}
+	switch c.state {
+	case StateSynSent:
+		if pkt.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && pkt.Ack == c.sndNxt {
+			c.sndUna = pkt.Ack
+			c.rcvNxt = pkt.Seq + 1
+			c.state = StateEstablished
+			c.cancelRetx()
+			c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+			if c.OnConnect != nil {
+				c.OnConnect(c)
+			}
+			c.pump()
+		}
+		return
+	case StateSynRcvd:
+		if pkt.Flags&FlagACK != 0 && pkt.Ack == c.sndNxt {
+			c.sndUna = pkt.Ack
+			c.state = StateEstablished
+			c.cancelRetx()
+			if c.acceptCb != nil {
+				c.acceptCb(c)
+			}
+			if c.OnConnect != nil {
+				c.OnConnect(c)
+			}
+			// Fall through: the ACK may carry data.
+		} else {
+			if pkt.Flags&FlagSYN != 0 {
+				// Duplicate SYN: our SYN-ACK was lost; resend it.
+				c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt, Window: rcvWindow})
+			}
+			return
+		}
+	}
+
+	if pkt.Flags&FlagACK != 0 {
+		c.onAck(pkt.Ack)
+	}
+	if len(pkt.Payload) > 0 {
+		c.onData(pkt)
+	}
+	if pkt.Flags&FlagFIN != 0 {
+		c.onFIN(pkt)
+	}
+}
+
+func (c *Conn) onAck(ack uint32) {
+	if int32(ack-c.sndUna) <= 0 {
+		return // duplicate/old
+	}
+	c.sndUna = ack
+	// Drop fully acknowledged segments.
+	keep := c.inflight[:0]
+	finAcked := false
+	for _, s := range c.inflight {
+		end := s.seq + uint32(len(s.data))
+		if s.fin {
+			end = s.seq + 1
+		}
+		if int32(end-ack) <= 0 {
+			if s.fin {
+				finAcked = true
+			}
+			// Congestion window growth per ACKed segment: slow
+			// start below ssthresh, then linear.
+			if c.cwnd < c.ssthresh {
+				c.cwnd++
+			} else if c.cwnd < 128 {
+				c.cwnd++ // coarse linear growth per window-full
+			}
+			continue
+		}
+		keep = append(keep, s)
+	}
+	c.inflight = keep
+	if len(c.inflight) == 0 {
+		c.cancelRetx()
+	}
+	if finAcked {
+		switch c.state {
+		case StateFinWait1:
+			c.state = StateFinWait2
+		case StateLastAck:
+			c.teardown()
+			return
+		}
+	}
+	c.pump()
+}
+
+func (c *Conn) onData(pkt *Packet) {
+	if pkt.Seq != c.rcvNxt {
+		// Out of order: re-ACK what we have; sender retransmits.
+		c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+		return
+	}
+	c.rcvNxt += uint32(len(pkt.Payload))
+	if c.OnData != nil {
+		c.OnData(c, pkt.Payload)
+	}
+	c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+}
+
+func (c *Conn) onFIN(pkt *Packet) {
+	c.rcvNxt = pkt.Seq + uint32(len(pkt.Payload)) + 1
+	c.peerClosed = true
+	c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+	switch c.state {
+	case StateEstablished:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// Simultaneous close; treat as FIN_WAIT_2 -> TIME_WAIT.
+		c.state = StateTimeWait
+		c.startTimeWait()
+	case StateFinWait2:
+		c.state = StateTimeWait
+		c.startTimeWait()
+	}
+	if c.OnClose != nil && c.state == StateCloseWait {
+		c.OnClose(c)
+	}
+}
+
+func (c *Conn) startTimeWait() {
+	c.tcp.stack.engine.After(timeWaitDelay, func() {
+		c.teardown()
+	})
+}
+
+// teardown removes the connection.
+func (c *Conn) teardown() {
+	if c.state == StateClosed {
+		return
+	}
+	c.cancelRetx()
+	prev := c.state
+	c.state = StateClosed
+	delete(c.tcp.conns, connKey{c.remote, c.remotePort, c.localPort})
+	if c.OnClose != nil && prev != StateCloseWait {
+		c.OnClose(c)
+	}
+}
+
+// Conns reports the number of live connections (tests).
+func (t *TCP) Conns() int { return len(t.conns) }

@@ -1,0 +1,199 @@
+package netstack
+
+import (
+	"testing"
+
+	"spin/internal/sal"
+	"spin/internal/sim"
+)
+
+// Edge cases of the TCP state machine.
+
+func establish(t *testing.T, a, b *host, cl *sim.Cluster) (client *Conn, server **Conn) {
+	t.Helper()
+	var srvConn *Conn
+	if err := b.stack.TCP().Listen(80, nil, func(c *Conn) { srvConn = c }); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := false
+	conn.OnConnect = func(*Conn) { up = true }
+	if !cl.RunUntil(func() bool { return up && srvConn != nil }, sim.Time(60*sim.Second)) {
+		t.Fatal("handshake failed")
+	}
+	return conn, &srvConn
+}
+
+func TestTCPSimultaneousClose(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	client, srv := establish(t, a, b, cl)
+	// Both sides close at (virtually) the same instant: FINs cross.
+	client.Close()
+	(*srv).Close()
+	cl.Run(sim.Time(60 * sim.Second))
+	if client.State() != StateClosed {
+		t.Errorf("client state = %v", client.State())
+	}
+	if (*srv).State() != StateClosed {
+		t.Errorf("server state = %v", (*srv).State())
+	}
+	if a.stack.TCP().Conns()+b.stack.TCP().Conns() != 0 {
+		t.Error("connections leaked after simultaneous close")
+	}
+}
+
+func TestTCPHalfClose(t *testing.T) {
+	// Client closes its direction; the server may still send before
+	// closing its own.
+	a, b, cl := pair(t, sal.LanceModel)
+	client, srv := establish(t, a, b, cl)
+	var clientGot []byte
+	client.OnData = func(_ *Conn, d []byte) { clientGot = append(clientGot, d...) }
+	serverSawClose := false
+	(*srv).OnClose = func(c *Conn) {
+		serverSawClose = true
+		_ = c.Send([]byte("parting gift"))
+		c.Close()
+	}
+	client.Close()
+	cl.Run(sim.Time(60 * sim.Second))
+	if !serverSawClose {
+		t.Fatal("server never saw the close")
+	}
+	if string(clientGot) != "parting gift" {
+		t.Errorf("client got %q after half-close", clientGot)
+	}
+	if client.State() != StateClosed || (*srv).State() != StateClosed {
+		t.Errorf("states = %v / %v", client.State(), (*srv).State())
+	}
+}
+
+func TestTCPRSTMidConnection(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	client, srv := establish(t, a, b, cl)
+	closed := false
+	client.OnClose = func(*Conn) { closed = true }
+	// Forge a RST from the server side (e.g. its process died).
+	rp, lp := (*srv).localPort, (*srv).remotePort
+	rst := &Packet{
+		Src: b.stack.IP, Dst: a.stack.IP, Proto: ProtoTCP,
+		SrcPort: rp, DstPort: lp, Flags: FlagRST, TTL: 32,
+	}
+	_ = b.stack.SendIP(rst)
+	cl.Run(sim.Time(60 * sim.Second))
+	if client.State() != StateClosed {
+		t.Errorf("client state after RST = %v", client.State())
+	}
+	if !closed {
+		t.Error("OnClose not fired on RST")
+	}
+}
+
+func TestTCPServerRetransmitsSYNACK(t *testing.T) {
+	// Drop the server's first SYN-ACK: its retransmission timer must
+	// recover the handshake.
+	a, b, cl := pair(t, sal.LanceModel)
+	// Lose ~the first outbound frame from b (seed chosen so the first
+	// Float64 < rate).
+	b.nic.InjectLoss(0.9, 3)
+	accepted := false
+	_ = b.stack.TCP().Listen(80, nil, func(*Conn) { accepted = true })
+	conn, _ := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+	up := false
+	conn.OnConnect = func(*Conn) { up = true }
+	cl.RunUntil(func() bool { return up }, sim.Time(60*sim.Second))
+	// Stop losing so the test converges if it has not already, and drain
+	// until the server side completes too.
+	b.nic.InjectLoss(0, 0)
+	cl.RunUntil(func() bool { return up && accepted }, sim.Time(10*60*sim.Second))
+	if !up || !accepted {
+		t.Fatalf("handshake never recovered (up=%v accepted=%v, b dropped %d)",
+			up, accepted, b.nic.Dropped())
+	}
+}
+
+func TestTCPDataBeforeAcceptCallbackQueues(t *testing.T) {
+	// Client sends immediately at OnConnect; the server's OnData is
+	// assigned in the accept callback, which runs at ESTABLISHED —
+	// data arriving with the handshake-completing ACK must be seen.
+	a, b, cl := pair(t, sal.LanceModel)
+	var got []byte
+	_ = b.stack.TCP().Listen(80, nil, func(c *Conn) {
+		c.OnData = func(_ *Conn, d []byte) { got = append(got, d...) }
+	})
+	conn, _ := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+	conn.OnConnect = func(c *Conn) { _ = c.Send([]byte("eager")) }
+	cl.Run(sim.Time(60 * sim.Second))
+	if string(got) != "eager" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTCPSendOnClosedFails(t *testing.T) {
+	a, b, cl := pair(t, sal.LanceModel)
+	client, _ := establish(t, a, b, cl)
+	client.Close()
+	cl.Run(sim.Time(60 * sim.Second))
+	if err := client.Send([]byte("too late")); err == nil {
+		t.Error("send on closed connection accepted")
+	}
+}
+
+func TestTCPWindowLimitsInFlight(t *testing.T) {
+	// With a tiny peer window, the sender must not blast the whole
+	// buffer at once.
+	a, b, cl := pair(t, sal.LanceModel)
+	client, _ := establish(t, a, b, cl)
+	client.sndWnd = 2 * DefaultMSS // pretend the peer advertised 2 MSS
+	_ = client.Send(make([]byte, 10*DefaultMSS))
+	inFlight := int(client.sndNxt - client.sndUna)
+	if inFlight > 2*DefaultMSS {
+		t.Errorf("in-flight %d exceeds advertised window %d", inFlight, 2*DefaultMSS)
+	}
+	cl.Run(sim.Time(60 * sim.Second))
+	if len(client.sendBuf) != 0 || len(client.inflight) != 0 {
+		t.Error("transfer did not complete after window opened via ACKs")
+	}
+}
+
+func TestTCPConcurrentConnections(t *testing.T) {
+	// Several simultaneous connections to one listener stay isolated.
+	a, b, cl := pair(t, sal.LanceModel)
+	got := map[uint16][]byte{}
+	_ = b.stack.TCP().Listen(80, nil, func(c *Conn) {
+		c.OnData = func(c *Conn, d []byte) {
+			_, port := c.Remote()
+			got[port] = append(got[port], d...)
+		}
+	})
+	const n = 5
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		i := i
+		c, err := a.stack.TCP().Connect(Addr(10, 0, 0, 2), 80, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OnConnect = func(c *Conn) {
+			_ = c.Send([]byte{byte('A' + i)})
+		}
+		conns = append(conns, c)
+	}
+	cl.Run(sim.Time(60 * sim.Second))
+	if len(got) != n {
+		t.Fatalf("distinct peers = %d, want %d", len(got), n)
+	}
+	seen := map[byte]bool{}
+	for _, d := range got {
+		if len(d) != 1 {
+			t.Fatalf("stream mixed: %q", d)
+		}
+		seen[d[0]] = true
+	}
+	if len(seen) != n {
+		t.Errorf("payloads = %v", seen)
+	}
+}

@@ -1,0 +1,114 @@
+package netstack
+
+import (
+	"fmt"
+
+	"spin/internal/sim"
+)
+
+// UDPHandler receives a datagram delivered to a bound port.
+type UDPHandler func(pkt *Packet)
+
+// UDP is the stack's UDP module: a port table with handler endpoints. SPIN
+// endpoints are in-kernel handlers (procedure-call delivery); the baselines
+// wrap handlers in socket-cost shims.
+type UDP struct {
+	stack *Stack
+	ports map[uint16]udpBinding
+	next  uint16
+}
+
+type udpBinding struct {
+	h    UDPHandler
+	cost DeliveryCost
+}
+
+func newUDP(s *Stack) *UDP {
+	return &UDP{stack: s, ports: make(map[uint16]udpBinding), next: 20000}
+}
+
+// Bind installs handler as the endpoint for port. cost models the delivery
+// path (InKernelDelivery for SPIN extensions).
+func (u *UDP) Bind(port uint16, cost DeliveryCost, h UDPHandler) error {
+	if _, dup := u.ports[port]; dup {
+		return fmt.Errorf("netstack: UDP port %d in use", port)
+	}
+	if cost == nil {
+		cost = InKernelDelivery
+	}
+	u.ports[port] = udpBinding{h: h, cost: cost}
+	return nil
+}
+
+// Unbind releases port.
+func (u *UDP) Unbind(port uint16) { delete(u.ports, port) }
+
+// EphemeralPort returns a fresh high port.
+func (u *UDP) EphemeralPort() uint16 {
+	for {
+		u.next++
+		if _, used := u.ports[u.next]; !used {
+			return u.next
+		}
+	}
+}
+
+// Send transmits a datagram.
+func (u *UDP) Send(srcPort uint16, dst IPAddr, dstPort uint16, payload []byte) error {
+	pkt := &Packet{
+		Src: u.stack.IP, Dst: dst, Proto: ProtoUDP,
+		SrcPort: srcPort, DstPort: dstPort,
+		Payload: payload, TTL: 32,
+	}
+	return u.stack.SendIP(pkt)
+}
+
+// deliver hands a datagram to its bound endpoint (after graph handlers
+// declined to claim it).
+func (u *UDP) deliver(pkt *Packet) {
+	b, ok := u.ports[pkt.DstPort]
+	if !ok {
+		return // port unreachable; silently dropped in this model
+	}
+	b.cost(u.stack.clock, pkt)
+	if b.h != nil {
+		b.h(pkt)
+	}
+}
+
+// Echo starts a UDP echo server on port with the given delivery cost:
+// payload is bounced back to the sender. Used by the Table 5 latency
+// benchmark.
+func (u *UDP) Echo(port uint16, cost DeliveryCost) error {
+	return u.Bind(port, cost, func(pkt *Packet) {
+		_ = u.Send(port, pkt.Src, pkt.SrcPort, pkt.Payload)
+	})
+}
+
+// Sink binds port to a pure consumer, counting packets and bytes — the
+// bandwidth benchmark's receiver. It returns the counter.
+func (u *UDP) Sink(port uint16, cost DeliveryCost) (*SinkStats, error) {
+	st := &SinkStats{}
+	err := u.Bind(port, cost, func(pkt *Packet) {
+		st.Packets++
+		st.Bytes += int64(len(pkt.Payload))
+	})
+	return st, err
+}
+
+// SinkStats counts sink deliveries.
+type SinkStats struct {
+	Packets int64
+	Bytes   int64
+}
+
+// Flood sends n payload-sized datagrams back to back — the bandwidth
+// benchmark's sender half. Returns virtual time consumed at the sender.
+func (u *UDP) Flood(srcPort uint16, dst IPAddr, dstPort uint16, n, size int) sim.Duration {
+	start := u.stack.clock.Now()
+	buf := make([]byte, size)
+	for i := 0; i < n; i++ {
+		_ = u.Send(srcPort, dst, dstPort, buf)
+	}
+	return u.stack.clock.Now().Sub(start)
+}

@@ -1,0 +1,223 @@
+package safe
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	var slot func(int) int
+	o := NewObjectFile("m").
+		Export("M.Double", func(x int) int { return 2 * x }).
+		Import("Lib.Inc", &slot).
+		Sign(Compiler)
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	exp, ok := o.LookupExport("M.Double")
+	if !ok {
+		t.Fatal("export missing")
+	}
+	f := exp.Value.Interface().(func(int) int)
+	if f(21) != 42 {
+		t.Error("exported func broken")
+	}
+	imp, ok := o.LookupImport("Lib.Inc")
+	if !ok {
+		t.Fatal("import missing")
+	}
+	if Resolved(imp) {
+		t.Error("import reported resolved before patching")
+	}
+}
+
+func TestPatchTypeSafety(t *testing.T) {
+	var slot func(int) int
+	o := NewObjectFile("m").Import("X.F", &slot).Sign(Compiler)
+	imp, _ := o.LookupImport("X.F")
+
+	good := NewObjectFile("x").Export("X.F", func(x int) int { return x + 1 }).Sign(Compiler)
+	exp, _ := good.LookupExport("X.F")
+	if err := Patch(imp, exp); err != nil {
+		t.Fatalf("compatible patch failed: %v", err)
+	}
+	if !Resolved(imp) {
+		t.Error("import not resolved after patch")
+	}
+	if slot(1) != 2 {
+		t.Error("patched slot wrong")
+	}
+
+	// Incompatible type must be refused — the Console.T redefinition case.
+	var slot2 func(string) string
+	o2 := NewObjectFile("m2").Import("X.F", &slot2).Sign(Compiler)
+	imp2, _ := o2.LookupImport("X.F")
+	err := Patch(imp2, exp)
+	if err == nil {
+		t.Fatal("type-conflicting patch accepted")
+	}
+	var tc *TypeConflictError
+	if !asTypeConflict(err, &tc) {
+		t.Fatalf("error type = %T, want *TypeConflictError", err)
+	}
+	if !strings.Contains(err.Error(), "X.F") {
+		t.Errorf("error missing symbol name: %v", err)
+	}
+}
+
+func asTypeConflict(err error, out **TypeConflictError) bool {
+	tc, ok := err.(*TypeConflictError)
+	if ok {
+		*out = tc
+	}
+	return ok
+}
+
+func TestVerifyRejectsUnsigned(t *testing.T) {
+	o := NewObjectFile("m").Export("M.F", func() {})
+	if err := o.Verify(); err == nil {
+		t.Error("unsealed object verified")
+	}
+	o.Sign(Unsigned)
+	if err := o.Verify(); err == nil {
+		t.Error("unsigned object verified")
+	}
+}
+
+func TestVerifyAcceptsKernelAssertion(t *testing.T) {
+	// Vendor C drivers: safety asserted, not verified.
+	o := NewObjectFile("lance_driver").Export("Lance.Send", func([]byte) {}).Sign(KernelAssertion)
+	if err := o.Verify(); err != nil {
+		t.Errorf("kernel-asserted object rejected: %v", err)
+	}
+	if o.Signer.String() != "kernel-asserted" {
+		t.Errorf("Signer.String() = %q", o.Signer.String())
+	}
+}
+
+func TestSealedObjectImmutable(t *testing.T) {
+	o := NewObjectFile("m").Sign(Compiler)
+	defer func() {
+		if recover() == nil {
+			t.Error("Export on sealed object did not panic")
+		}
+	}()
+	o.Export("M.F", func() {})
+}
+
+func TestExportNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil export did not panic")
+		}
+	}()
+	NewObjectFile("m").Export("M.F", nil)
+}
+
+func TestImportRequiresPointer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-pointer import slot did not panic")
+		}
+	}()
+	NewObjectFile("m").Import("X.F", func() {})
+}
+
+func TestImportNilPointerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil pointer import slot did not panic")
+		}
+	}()
+	var p *int
+	NewObjectFile("m").Import("X.V", p)
+}
+
+func TestSymbolsSorted(t *testing.T) {
+	o := NewObjectFile("m").
+		Export("B.F", func() {}).
+		Export("A.F", func() {}).
+		Export("C.F", func() {}).
+		Sign(Compiler)
+	exps := o.Exports()
+	if len(exps) != 3 {
+		t.Fatalf("len = %d", len(exps))
+	}
+	for i := 1; i < len(exps); i++ {
+		if exps[i-1].Name >= exps[i].Name {
+			t.Errorf("exports unsorted: %v then %v", exps[i-1].Name, exps[i].Name)
+		}
+	}
+}
+
+func TestSignatureCoversSymbolNames(t *testing.T) {
+	a := NewObjectFile("m").Export("M.F", func() {}).Sign(Compiler)
+	b := NewObjectFile("m").Export("M.G", func() {}).Sign(Compiler)
+	if a.sig == b.sig {
+		t.Error("different symbol names produced identical signatures")
+	}
+}
+
+func TestSignatureCoversTypes(t *testing.T) {
+	a := NewObjectFile("m").Export("M.F", func(int) {}).Sign(Compiler)
+	b := NewObjectFile("m").Export("M.F", func(string) {}).Sign(Compiler)
+	if a.sig == b.sig {
+		t.Error("different symbol types produced identical signatures")
+	}
+}
+
+// Property: any set of distinct export names round-trips through the symbol
+// table, and Verify holds after sealing.
+func TestObjectFileProperty(t *testing.T) {
+	if err := quick.Check(func(names []string) bool {
+		o := NewObjectFile("prop")
+		seen := map[string]bool{}
+		var kept []string
+		for _, n := range names {
+			if n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			kept = append(kept, n)
+			o.Export(n, func() string { return n })
+		}
+		o.Sign(Compiler)
+		if o.Verify() != nil {
+			return false
+		}
+		if len(o.Exports()) != len(kept) {
+			return false
+		}
+		for _, n := range kept {
+			s, ok := o.LookupExport(n)
+			if !ok || s.Value.Interface().(func() string)() != n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatchNonFuncSymbols(t *testing.T) {
+	// Data symbols link too (text and data symbols are both patched,
+	// per §3.1).
+	var slot *int
+	v := 7
+	exp := NewObjectFile("d").Export("D.V", &v).Sign(Compiler)
+	imp := NewObjectFile("c").Import("D.V", &slot).Sign(Compiler)
+	is, _ := imp.LookupImport("D.V")
+	es, _ := exp.LookupExport("D.V")
+	if err := Patch(is, es); err != nil {
+		t.Fatal(err)
+	}
+	if *slot != 7 {
+		t.Errorf("*slot = %d, want 7", *slot)
+	}
+	v = 9
+	if *slot != 9 {
+		t.Error("data symbol not shared at memory speed")
+	}
+}

@@ -1,0 +1,62 @@
+package sal
+
+import (
+	"fmt"
+
+	"spin/internal/sim"
+)
+
+// Framebuffer is the video display device the client-side video extension
+// writes decompressed frames into (paper §1.2: the viewer extension
+// "decompresses incoming network video packets and displays them to the
+// video frame buffer"). Writes cost CPU time like any other memory-mapped
+// I/O.
+type Framebuffer struct {
+	clock  *sim.Clock
+	Width  int
+	Height int
+	// pixels is the current display contents (one byte per pixel, 8-bit
+	// grayscale keeps the model simple).
+	pixels []byte
+	// WriteCostPerWord is the cost of storing one 8-byte word into the
+	// (uncached) framebuffer aperture.
+	WriteCostPerWord sim.Duration
+
+	frames int64
+	bytes  int64
+}
+
+// NewFramebuffer returns a display of the given dimensions.
+func NewFramebuffer(clock *sim.Clock, width, height int) *Framebuffer {
+	return &Framebuffer{
+		clock:            clock,
+		Width:            width,
+		Height:           height,
+		pixels:           make([]byte, width*height),
+		WriteCostPerWord: 100, // ns: uncached I/O space store
+	}
+}
+
+// WriteFrame blits data to the display starting at the top-left, truncating
+// to the screen size, and counts one displayed frame.
+func (fb *Framebuffer) WriteFrame(data []byte) {
+	n := len(data)
+	if n > len(fb.pixels) {
+		n = len(fb.pixels)
+	}
+	fb.clock.Advance(sim.Duration((n+7)/8) * fb.WriteCostPerWord)
+	copy(fb.pixels[:n], data[:n])
+	fb.frames++
+	fb.bytes += int64(n)
+}
+
+// Pixel reads back one pixel (diagnostics).
+func (fb *Framebuffer) Pixel(x, y int) (byte, error) {
+	if x < 0 || x >= fb.Width || y < 0 || y >= fb.Height {
+		return 0, fmt.Errorf("sal: pixel (%d,%d) outside %dx%d", x, y, fb.Width, fb.Height)
+	}
+	return fb.pixels[y*fb.Width+x], nil
+}
+
+// Stats reports frames and bytes displayed.
+func (fb *Framebuffer) Stats() (frames, bytes int64) { return fb.frames, fb.bytes }

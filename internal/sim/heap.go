@@ -1,0 +1,74 @@
+package sim
+
+// Heap models the in-kernel Modula-3 heap with its trace-based,
+// mostly-copying collector (Bartlett-style, per the paper). The model is
+// about cost and safety accounting, not about real memory: allocations
+// advance the virtual clock, and when the collector is enabled, crossing the
+// trigger threshold charges a collection pause. Section 5.5's observation —
+// fast paths avoid allocation, so disabling the collector changes nothing —
+// is reproduced by construction: code on fast paths simply never calls
+// Alloc.
+type Heap struct {
+	clock   *Clock
+	profile *Profile
+
+	// CollectorEnabled gates collection pauses; the paper's experiment
+	// toggles this.
+	CollectorEnabled bool
+
+	// TriggerBytes is the live-allocation threshold that triggers a
+	// collection cycle.
+	TriggerBytes int64
+
+	allocated   int64 // bytes allocated since last collection
+	liveObjects int64
+	collections int64
+}
+
+// NewHeap returns a heap accounting against clock with profile costs.
+func NewHeap(clock *Clock, profile *Profile) *Heap {
+	return &Heap{
+		clock:            clock,
+		profile:          profile,
+		CollectorEnabled: true,
+		TriggerBytes:     1 << 20, // 1MB young space
+	}
+}
+
+// Alloc charges one general heap allocation of size bytes and runs a
+// collection if the trigger is crossed while the collector is enabled.
+func (h *Heap) Alloc(size int64) {
+	h.clock.Advance(h.profile.HeapAllocCost)
+	h.allocated += size
+	h.liveObjects++
+	if h.CollectorEnabled && h.allocated >= h.TriggerBytes {
+		h.Collect()
+	}
+}
+
+// Free models an extension explicitly dropping a reference. There is no
+// explicit deallocation in the safe heap — memory is reclaimed only by the
+// collector — so Free only adjusts liveness accounting.
+func (h *Heap) Free() {
+	if h.liveObjects > 0 {
+		h.liveObjects--
+	}
+}
+
+// Collect charges one collection cycle and resets the young-space
+// accounting. It can be called directly (forced collection) even when the
+// automatic trigger is disabled.
+func (h *Heap) Collect() {
+	h.clock.Advance(h.profile.GCPauseCost)
+	h.allocated = 0
+	h.collections++
+}
+
+// Collections reports how many collection cycles have run.
+func (h *Heap) Collections() int64 { return h.collections }
+
+// AllocatedSinceGC reports bytes allocated since the last collection.
+func (h *Heap) AllocatedSinceGC() int64 { return h.allocated }
+
+// Live reports the number of live objects per the model's accounting.
+func (h *Heap) Live() int64 { return h.liveObjects }

@@ -1,0 +1,214 @@
+package sim
+
+// Profile holds the primitive virtual-time costs of one operating system /
+// hardware configuration. All values are calibrated to the paper's 133 MHz
+// DEC Alpha AXP 3000/400 measurements (Section 5). Composite benchmark
+// results are NEVER stored here — they must emerge from executing the real
+// code paths, which charge these primitives as they go.
+type Profile struct {
+	Name string
+
+	// --- CPU / call primitives ---------------------------------------
+
+	// ProcCall is an intramodule procedure call (~65ns: a handful of
+	// cycles at 133MHz for save/call/return).
+	ProcCall Duration
+	// CrossDomainCall is a call through a dynamically linked interface
+	// between two logical protection domains. The paper measures 0.13µs
+	// and notes its compiler made intermodule calls ~2x intramodule.
+	CrossDomainCall Duration
+	// Trap is one crossing of the user/kernel boundary in a single
+	// direction (half a null system call round trip, roughly).
+	Trap Duration
+	// SyscallOverhead is the fixed dispatch cost of a system call beyond
+	// the two boundary crossings (argument validation, dispatcher table).
+	SyscallOverhead Duration
+	// ExceptionDeliver is the kernel-side cost of turning a hardware
+	// fault into a software-visible notification (signal setup on OSF/1,
+	// external-pager message on Mach, event raise on SPIN).
+	ExceptionDeliver Duration
+	// ExceptionResume is the cost of resuming a faulted context.
+	ExceptionResume Duration
+	// VMServiceFixed is the fixed per-invocation overhead of a VM service
+	// operation (locking, TLB coherence setup), independent of how many
+	// pages the operation covers. Back-solved from Table 4's
+	// Prot1/Prot100 pairs.
+	VMServiceFixed Duration
+	// VMQueryCost is the cost of a read-only VM state query (the Dirty
+	// benchmark) beyond the invoking call.
+	VMQueryCost Duration
+
+	// --- Dispatcher primitives (SPIN only; zero elsewhere) ------------
+
+	// GuardEval is the cost of evaluating one installed guard predicate.
+	// Back-solved from §5.5: +50 false guards raised a 565µs RTT to
+	// ~585µs => ~0.4µs per guard (two dispatch points per round trip).
+	GuardEval Duration
+	// HandlerInvoke is the additional per-handler cost when the
+	// dispatcher cannot use the single-handler direct-call path.
+	HandlerInvoke Duration
+
+	// --- Memory / context primitives ----------------------------------
+
+	// CopyPerWord is the cost of copying one 8-byte word (PIO or
+	// user/kernel copyin/copyout; ~2 cycles/word at 133MHz ≈ 16ns).
+	CopyPerWord Duration
+	// PageTableOp is the cost of installing or removing one PTE,
+	// including TLB shootdown of the entry.
+	PageTableOp Duration
+	// ContextSwitch is a full thread context switch (register file +
+	// stack switch; address-space switch costs extra via ASSwitch).
+	ContextSwitch Duration
+	// ASSwitch is the additional cost of switching address spaces
+	// (TLB/ASN management).
+	ASSwitch Duration
+	// ThreadCreate is allocation+initialization of a thread context.
+	ThreadCreate Duration
+	// SyncOp is the cost of an uncontended lock/unlock or condition
+	// signal (a few atomic operations).
+	SyncOp Duration
+	// SchedOp is the scheduler bookkeeping cost of one block/unblock
+	// transition (run-queue manipulation).
+	SchedOp Duration
+	// UserThreadSetup is the user-level thread library's per-create cost
+	// (stack allocation and initialization, descriptor setup) — the
+	// dominant term in user-level Fork on the measured systems.
+	UserThreadSetup Duration
+	// UserSyncOp is the user-level thread library's bookkeeping per
+	// synchronization operation (queue manipulation, self lookup).
+	UserSyncOp Duration
+
+	// --- IPC primitives ------------------------------------------------
+
+	// MsgSend is the one-way cost of the system's preferred cross-address
+	// space transport beyond the traps themselves (socket/RPC layer on
+	// OSF/1, optimized message path on Mach, in-kernel cross-domain
+	// bounce on SPIN).
+	MsgSend Duration
+
+	// --- Network processing primitives ---------------------------------
+
+	// InterruptEntry is the cost of taking a device interrupt.
+	InterruptEntry Duration
+	// ProtoLayer is the per-layer protocol processing cost (header
+	// parse/build, checksum over a small header).
+	ProtoLayer Duration
+	// SocketOp is the per-packet socket-layer bookkeeping cost on systems
+	// that deliver network data through sockets (zero on SPIN, whose
+	// endpoints are in-kernel handlers).
+	SocketOp Duration
+
+	// --- Allocator / collector ------------------------------------------
+
+	// HeapAllocCost is the cost of a general heap allocation.
+	HeapAllocCost Duration
+	// GCPauseCost is the cost of one collection cycle of the in-kernel
+	// collector, charged when the collector is enabled and triggered.
+	GCPauseCost Duration
+}
+
+// The three systems measured in the paper. These are the only profiles the
+// benchmark harness uses; tests may construct synthetic ones.
+var (
+	// SPINProfile: language-based protection. Cheap in-kernel calls,
+	// competitive traps, event dispatch costs.
+	SPINProfile = Profile{
+		Name:             "SPIN",
+		ProcCall:         65,
+		CrossDomainCall:  130,
+		Trap:             1700,
+		SyscallOverhead:  600,
+		ExceptionDeliver: 5200,
+		ExceptionResume:  6000,
+		VMServiceFixed:   14000,
+		VMQueryCost:      1870,
+		GuardEval:        400,
+		HandlerInvoke:    650,
+		CopyPerWord:      16,
+		PageTableOp:      2000,
+		ContextSwitch:    5500,
+		ASSwitch:         2500,
+		ThreadCreate:     4500,
+		SyncOp:           800,
+		SchedOp:          2000,
+		UserThreadSetup:  60 * Microsecond,
+		UserSyncOp:       8 * Microsecond,
+		MsgSend:          1500,
+		InterruptEntry:   4000,
+		ProtoLayer:       9000,
+		SocketOp:         0,
+		HeapAllocCost:    900,
+		GCPauseCost:      250 * Microsecond,
+	}
+
+	// OSF1Profile: DEC OSF/1 V2.1, monolithic. Fast traps, heavyweight
+	// cross-address-space path (sockets + SUN RPC), signal-based
+	// exception delivery.
+	OSF1Profile = Profile{
+		Name:             "DEC OSF/1",
+		ProcCall:         65,
+		CrossDomainCall:  0, // unsupported: no protected in-kernel call
+		Trap:             2100,
+		SyscallOverhead:  800,
+		ExceptionDeliver: 258 * Microsecond, // generalized signal machinery
+		ExceptionResume:  24 * Microsecond,  // sigreturn path
+		VMServiceFixed:   30 * Microsecond,
+		VMQueryCost:      0, // facility not provided
+		GuardEval:        0,
+		HandlerInvoke:    0,
+		CopyPerWord:      16,
+		PageTableOp:      10 * Microsecond,
+		ContextSwitch:    7000,
+		ASSwitch:         6000,
+		ThreadCreate:     177 * Microsecond,
+		SyncOp:           1500,
+		SchedOp:          2000,
+		UserThreadSetup:  900 * Microsecond,
+		UserSyncOp:       30 * Microsecond,
+		MsgSend:          380 * Microsecond, // socket+RPC layer, each way
+		InterruptEntry:   5000,
+		ProtoLayer:       11000,
+		SocketOp:         35 * Microsecond,
+		HeapAllocCost:    1200,
+		GCPauseCost:      0,
+	}
+
+	// MachProfile: Mach 3.0 microkernel. Optimized message path, external
+	// pager for VM exceptions, lazy protection updates.
+	MachProfile = Profile{
+		Name:             "Mach",
+		ProcCall:         65,
+		CrossDomainCall:  0, // unsupported
+		Trap:             3000,
+		SyscallOverhead:  1000,
+		ExceptionDeliver: 182 * Microsecond, // external pager / exception msg
+		ExceptionResume:  124 * Microsecond,
+		VMServiceFixed:   82 * Microsecond,
+		VMQueryCost:      0, // facility not provided
+		GuardEval:        0,
+		HandlerInvoke:    0,
+		CopyPerWord:      16,
+		PageTableOp:      17 * Microsecond,
+		ContextSwitch:    11000,
+		ASSwitch:         7000,
+		ThreadCreate:     45 * Microsecond,
+		SyncOp:           9000,
+		SchedOp:          8500,
+		UserThreadSetup:  130 * Microsecond,
+		UserSyncOp:       4 * Microsecond,
+		MsgSend:          38 * Microsecond, // optimized IPC each way
+		InterruptEntry:   5000,
+		ProtoLayer:       11000,
+		SocketOp:         35 * Microsecond,
+		HeapAllocCost:    1200,
+		GCPauseCost:      0,
+	}
+)
+
+// NullSyscall returns the virtual cost of a null system call: two boundary
+// crossings plus fixed dispatch. This is a primitive-composition helper used
+// by both kernels and baselines; Table 2 row 2 validates it against the
+// paper's direct measurement (SPIN 4µs, OSF/1 5µs, Mach 7µs).
+func (p *Profile) NullSyscall() Duration {
+	return 2*p.Trap + p.SyscallOverhead
+}

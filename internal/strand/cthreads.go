@@ -1,0 +1,261 @@
+package strand
+
+import "spin/internal/sim"
+
+// This file implements the two C-Threads configurations measured in Table 3
+// and the DEC OSF/1 kernel-thread interface extension.
+//
+// The user-level benchmark columns include user/kernel boundary crossings:
+// as a thread transfers from user mode to kernel mode it is checkpointed and
+// a kernel thread executes on its behalf; leaving the kernel resumes the
+// blocked application thread. userCrossing charges one such crossing: the
+// trap plus the checkpoint/resume of the user context.
+
+// userStateCost is the cost of saving or restoring a user-level thread's
+// processor state (integer + FP register file, PSW) around a crossing.
+const userStateCost = 10 * sim.Microsecond
+
+func userCrossing(clock *sim.Clock, prof *sim.Profile) {
+	clock.Advance(prof.NullSyscall() / 2) // one direction of the trap path
+	clock.Advance(userStateCost)
+}
+
+// CThreadsIntegrated is the "integrated" implementation: a kernel extension
+// that exports the C-Threads interface using system calls and implements it
+// directly on the strand interface, integrated with the scheduling behavior
+// of the rest of the kernel.
+type CThreadsIntegrated struct {
+	pkg   *ThreadPkg
+	clock *sim.Clock
+	prof  *sim.Profile
+}
+
+// NewCThreadsIntegrated builds the integrated C-Threads extension.
+func NewCThreadsIntegrated(sched *Scheduler) *CThreadsIntegrated {
+	return &CThreadsIntegrated{pkg: NewThreadPkg(sched), clock: sched.clock, prof: sched.profile}
+}
+
+// CThread is a C-Threads handle.
+type CThread struct{ t *Thread }
+
+// Fork creates a cthread running body at user level (body's kernel-visible
+// work is what the caller passes in).
+func (c *CThreadsIntegrated) Fork(name string, body func()) *CThread {
+	userCrossing(c.clock, c.prof) // app -> kernel
+	t := c.pkg.Fork(name, func() {
+		userCrossing(c.clock, c.prof) // kernel -> app: run body at user level
+		body()
+		userCrossing(c.clock, c.prof) // app -> kernel: thread exit
+	})
+	userCrossing(c.clock, c.prof) // kernel -> app
+	return &CThread{t: t}
+}
+
+// Join waits for ct to finish.
+func (c *CThreadsIntegrated) Join(ct *CThread) {
+	userCrossing(c.clock, c.prof)
+	c.pkg.Join(ct.t)
+	userCrossing(c.clock, c.prof)
+}
+
+// CondPair is a counting synchronization object (mutex + condition +
+// count, i.e. semaphore semantics) used for ping-pong style signalling;
+// counting means a Signal delivered before the matching Wait is not lost.
+type CondPair struct {
+	sem *Semaphore
+}
+
+// NewCondPair allocates the pair.
+func (c *CThreadsIntegrated) NewCondPair() *CondPair {
+	return &CondPair{sem: c.pkg.NewSemaphore(0)}
+}
+
+// SignalAndWait signals the peer and blocks until signalled — one half of a
+// ping-pong round. The extension performs the wakeup and the sleep in a
+// single kernel visit (handoff style), so it costs one boundary round trip.
+func (c *CThreadsIntegrated) SignalAndWait(mine, peer *CondPair) {
+	userCrossing(c.clock, c.prof)
+	peer.sem.V()
+	mine.sem.P()
+	userCrossing(c.clock, c.prof)
+}
+
+// Signal wakes a waiter on p without blocking.
+func (c *CThreadsIntegrated) Signal(p *CondPair) {
+	userCrossing(c.clock, c.prof)
+	p.sem.V()
+	userCrossing(c.clock, c.prof)
+}
+
+// Wait blocks on p.
+func (c *CThreadsIntegrated) Wait(p *CondPair) {
+	userCrossing(c.clock, c.prof)
+	p.sem.P()
+	userCrossing(c.clock, c.prof)
+}
+
+// MachThreads is a kernel extension exporting Mach's kernel thread
+// interface (thread_create / thread_sleep / thread_wakeup), used both by
+// the layered C-Threads library below and by the UNIX server. Operations
+// pay a handle-table lookup on top of the native strand operations.
+type MachThreads struct {
+	pkg    *ThreadPkg
+	clock  *sim.Clock
+	prof   *sim.Profile
+	lookup sim.Duration
+}
+
+// NewMachThreads builds the Mach kernel-thread interface extension.
+func NewMachThreads(sched *Scheduler) *MachThreads {
+	return &MachThreads{
+		pkg:    NewThreadPkg(sched),
+		clock:  sched.clock,
+		prof:   sched.profile,
+		lookup: 3 * sim.Microsecond,
+	}
+}
+
+// ThreadCreate makes a kernel thread.
+func (m *MachThreads) ThreadCreate(name string, body func()) *Thread {
+	m.clock.Advance(m.lookup)
+	return m.pkg.Fork(name, body)
+}
+
+// ThreadJoin waits for t.
+func (m *MachThreads) ThreadJoin(t *Thread) {
+	m.clock.Advance(m.lookup)
+	m.pkg.Join(t)
+}
+
+// ThreadSleep blocks the current thread on event (an opaque address).
+func (m *MachThreads) ThreadSleep(event *CondPair) {
+	m.clock.Advance(m.lookup)
+	event.sem.P()
+}
+
+// ThreadWakeup wakes one thread sleeping on event.
+func (m *MachThreads) ThreadWakeup(event *CondPair) {
+	m.clock.Advance(m.lookup)
+	event.sem.V()
+}
+
+// NewEvent allocates a sleep/wakeup event object.
+func (m *MachThreads) NewEvent() *CondPair {
+	return &CondPair{sem: m.pkg.NewSemaphore(0)}
+}
+
+// CThreadsLayered is the "layered" implementation: a user-level C-Threads
+// library layered on the MachThreads kernel extension. Every blocking
+// operation crosses the boundary to the kernel-thread layer and pays the
+// library's own bookkeeping on top — the double management the paper's
+// measurements expose.
+type CThreadsLayered struct {
+	kern  *MachThreads
+	clock *sim.Clock
+	prof  *sim.Profile
+}
+
+// NewCThreadsLayered builds the layered library over sched. Its per-op
+// bookkeeping (UserSyncOp) and per-create stack setup (UserThreadSetup)
+// come from the system profile: these library costs differ sharply between
+// the measured systems.
+func NewCThreadsLayered(sched *Scheduler) *CThreadsLayered {
+	return &CThreadsLayered{
+		kern:  NewMachThreads(sched),
+		clock: sched.clock,
+		prof:  sched.profile,
+	}
+}
+
+// Fork creates a cthread multiplexed on a fresh kernel thread: the library
+// allocates and initializes a user stack and descriptor, then creates the
+// backing kernel thread.
+func (c *CThreadsLayered) Fork(name string, body func()) *CThread {
+	c.clock.Advance(c.prof.UserThreadSetup)
+	userCrossing(c.clock, c.prof)
+	t := c.kern.ThreadCreate(name, func() {
+		userCrossing(c.clock, c.prof)
+		c.clock.Advance(c.prof.UserSyncOp) // library entry on new thread
+		body()
+		c.clock.Advance(c.prof.UserSyncOp)
+		userCrossing(c.clock, c.prof)
+	})
+	userCrossing(c.clock, c.prof)
+	return &CThread{t: t}
+}
+
+// Join waits for ct.
+func (c *CThreadsLayered) Join(ct *CThread) {
+	c.clock.Advance(c.prof.UserSyncOp)
+	userCrossing(c.clock, c.prof)
+	c.kern.ThreadJoin(ct.t)
+	userCrossing(c.clock, c.prof)
+}
+
+// NewCondPair allocates a pair in the kernel layer.
+func (c *CThreadsLayered) NewCondPair() *CondPair { return c.kern.NewEvent() }
+
+// SignalAndWait signals the peer and blocks — the library combines the
+// wakeup and the sleep into a single kernel visit.
+func (c *CThreadsLayered) SignalAndWait(mine, peer *CondPair) {
+	c.clock.Advance(c.prof.UserSyncOp)
+	userCrossing(c.clock, c.prof)
+	c.kern.ThreadWakeup(peer)
+	c.kern.ThreadSleep(mine)
+	userCrossing(c.clock, c.prof)
+}
+
+// Signal wakes a waiter on p.
+func (c *CThreadsLayered) Signal(p *CondPair) {
+	c.clock.Advance(c.prof.UserSyncOp)
+	userCrossing(c.clock, c.prof)
+	c.kern.ThreadWakeup(p)
+	userCrossing(c.clock, c.prof)
+}
+
+// Wait blocks on p.
+func (c *CThreadsLayered) Wait(p *CondPair) {
+	c.clock.Advance(c.prof.UserSyncOp)
+	userCrossing(c.clock, c.prof)
+	c.kern.ThreadSleep(p)
+	userCrossing(c.clock, c.prof)
+}
+
+// OSFThreads is the extension exporting the DEC OSF/1 kernel-thread
+// interface, which "allows us to incorporate the vendor's device drivers
+// directly into the kernel". It is a thin veneer over the trusted package.
+type OSFThreads struct {
+	pkg *ThreadPkg
+}
+
+// NewOSFThreads builds the OSF/1 thread-interface extension.
+func NewOSFThreads(sched *Scheduler) *OSFThreads {
+	return &OSFThreads{pkg: NewThreadPkg(sched)}
+}
+
+// KernelThread starts a driver thread.
+func (o *OSFThreads) KernelThread(name string, body func()) *Thread {
+	return o.pkg.Fork(name, body)
+}
+
+// AssertWait declares intent to sleep on event (OSF/1 idiom; the counting
+// object makes it a no-op — a wakeup between assert and block is kept).
+func (o *OSFThreads) AssertWait(event *CondPair) {}
+
+// ThreadBlock blocks on the asserted event.
+func (o *OSFThreads) ThreadBlock(event *CondPair) {
+	event.sem.P()
+}
+
+// ThreadWakeup wakes sleepers on event.
+func (o *OSFThreads) ThreadWakeup(event *CondPair) {
+	event.sem.V()
+}
+
+// NewEvent allocates an event object.
+func (o *OSFThreads) NewEvent() *CondPair {
+	return &CondPair{sem: o.pkg.NewSemaphore(0)}
+}
+
+// Pkg exposes the underlying trusted package.
+func (o *OSFThreads) Pkg() *ThreadPkg { return o.pkg }

@@ -1,0 +1,78 @@
+package strand
+
+import (
+	"spin/internal/sim"
+)
+
+// This file implements the paper's CPU-utilization measurement method
+// (§5.4): "We determine processor utilization by measuring the progress of
+// a low-priority idle thread that executes on the server." The IdleMonitor
+// is that thread; whatever share of the processor the workload leaves
+// behind, the idle thread consumes in fixed-size ticks, so utilization is
+// one minus the idle thread's progress over the window.
+
+// IdlePriority is far below any workload priority.
+const IdlePriority = -1 << 20
+
+// IdleMonitor measures leftover processor capacity with a low-priority
+// spinning strand.
+type IdleMonitor struct {
+	sched *Scheduler
+	tick  sim.Duration
+	start sim.Time
+
+	ticks   int64
+	stopped bool
+}
+
+// Sleep blocks the strand for d of virtual time: it schedules a timer on
+// the machine engine and blocks; the scheduler delivers the timer and the
+// strand resumes. (The building block for I/O-bound workloads.)
+func (s *Strand) Sleep(d sim.Duration) {
+	sched := s.sched
+	sched.engine.After(d, func() {
+		sched.doUnblock(s)
+	})
+	s.BlockSelf()
+}
+
+// NewIdleMonitor starts the idle thread with the given measurement
+// granularity. Call Stop to retire it, then Utilization for the result.
+func NewIdleMonitor(sched *Scheduler, tick sim.Duration) *IdleMonitor {
+	im := &IdleMonitor{sched: sched, tick: tick, start: sched.clock.Now()}
+	idle := sched.NewStrand("idle-monitor", IdlePriority, func(self *Strand) {
+		for !im.stopped {
+			// One tick of idle spinning. The time passes (the CPU is
+			// genuinely occupied by the idle loop) but it is not
+			// workload: account it with Sleep so Clock.Busy keeps
+			// meaning "workload busy".
+			sched.clock.Sleep(im.tick)
+			im.ticks++
+			self.Yield()
+		}
+	})
+	sched.Start(idle)
+	return im
+}
+
+// Stop retires the idle thread at the next tick boundary.
+func (im *IdleMonitor) Stop() { im.stopped = true }
+
+// IdleTime reports how much processor time the idle thread absorbed.
+func (im *IdleMonitor) IdleTime() sim.Duration {
+	return sim.Duration(im.ticks) * im.tick
+}
+
+// Utilization reports 1 - idle progress over the window since the monitor
+// started — the paper's measurement.
+func (im *IdleMonitor) Utilization() float64 {
+	window := im.sched.clock.Now().Sub(im.start)
+	if window <= 0 {
+		return 0
+	}
+	u := 1 - float64(im.IdleTime())/float64(window)
+	if u < 0 {
+		return 0
+	}
+	return u
+}

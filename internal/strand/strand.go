@@ -1,0 +1,342 @@
+// Package strand implements SPIN's extensible thread management (paper
+// §4.2, Figure 4). A *strand* reflects processor context but, unlike a
+// thread, carries no requisite kernel state beyond a name. Schedulers
+// multiplex the processor among strands; thread packages define execution
+// models on top of strands. The two communicate through four events —
+// Strand.Block, Strand.Unblock, Strand.Checkpoint, Strand.Resume — so that
+// application-specific schedulers and thread packages can be installed as
+// kernel extensions.
+//
+// The global scheduler implements the paper's round-robin, preemptive,
+// priority policy. Strand bodies run on real goroutines, but exactly one
+// runs at a time, handed a token by the scheduler loop — execution is
+// deterministic and all time is virtual.
+package strand
+
+import (
+	"fmt"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sim"
+)
+
+// Event names for scheduler/thread-package communication.
+const (
+	EvBlock      = "Strand.Block"
+	EvUnblock    = "Strand.Unblock"
+	EvCheckpoint = "Strand.Checkpoint"
+	EvResume     = "Strand.Resume"
+)
+
+// State is a strand's scheduling state.
+type State int
+
+// Strand states.
+const (
+	Runnable State = iota
+	Running
+	Blocked
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Strand is one processor context (Strand.T). The *Strand pointer is the
+// capability for it: only holders may block/unblock it.
+type Strand struct {
+	name  string
+	prio  int
+	state State
+	sched *Scheduler
+
+	body func(*Strand)
+	// token is signalled to hand the strand the (single) virtual CPU.
+	token chan struct{}
+	// yield is signalled back to the scheduler loop when the strand
+	// gives up the CPU (block, exit, or preemption point).
+	started bool
+	exited  bool
+}
+
+// Name returns the strand's name — per the paper, the only requisite state.
+func (s *Strand) Name() string { return s.name }
+
+// State returns the current scheduling state.
+func (s *Strand) State() State { return s.state }
+
+// Priority returns the strand's scheduling priority (higher runs first).
+func (s *Strand) Priority() int { return s.prio }
+
+// Scheduler is the global scheduler: round-robin within priority,
+// preemptive, priority-ordered. It runs strands on the machine's virtual
+// CPU, charging context-switch costs from the profile.
+type Scheduler struct {
+	engine  *sim.Engine
+	clock   *sim.Clock
+	profile *sim.Profile
+	disp    *dispatch.Dispatcher
+
+	// runq maps priority -> FIFO of runnable strands.
+	runq    map[int][]*Strand
+	current *Strand
+	// last is the most recently run strand, for checkpoint delivery and
+	// switch accounting.
+	last *Strand
+	// yieldCh carries control back from the running strand.
+	yieldCh chan struct{}
+	// switches counts context switches, for tests.
+	switches int64
+}
+
+// NewScheduler creates the global scheduler and defines the four strand
+// events. The default implementations (primaries) are the trusted
+// scheduler's own: Block marks the strand blocked, Unblock requeues it.
+// Installation of additional handlers is allowed (that is how
+// application-specific schedulers integrate); the trusted package's
+// authorizer admits any installer but the guards it hands out are built by
+// the installers themselves over strand capabilities they hold.
+func NewScheduler(engine *sim.Engine, profile *sim.Profile, disp *dispatch.Dispatcher) (*Scheduler, error) {
+	sched := &Scheduler{
+		engine:  engine,
+		clock:   engine.Clock,
+		profile: profile,
+		disp:    disp,
+		runq:    make(map[int][]*Strand),
+		yieldCh: make(chan struct{}),
+	}
+	type def struct {
+		name    string
+		primary dispatch.Handler
+	}
+	// The primaries act only on native strands; Block/Unblock raised on
+	// strands owned by application-specific schedulers are routed by the
+	// dispatcher to those schedulers' guarded handlers instead.
+	defs := []def{
+		{EvBlock, func(arg, _ any) any {
+			if s, ok := arg.(*Strand); ok {
+				sched.doBlock(s)
+			}
+			return nil
+		}},
+		{EvUnblock, func(arg, _ any) any {
+			if s, ok := arg.(*Strand); ok {
+				sched.doUnblock(s)
+			}
+			return nil
+		}},
+		{EvCheckpoint, func(arg, _ any) any { return nil }},
+		{EvResume, func(arg, _ any) any { return nil }},
+	}
+	for _, d := range defs {
+		if err := disp.Define(d.name, dispatch.DefineOptions{Primary: d.primary}); err != nil {
+			return nil, err
+		}
+	}
+	return sched, nil
+}
+
+// NewStrand creates a strand that will execute body when scheduled. It is
+// born Blocked; Unblock makes it runnable.
+func (sched *Scheduler) NewStrand(name string, prio int, body func(*Strand)) *Strand {
+	sched.clock.Advance(sched.profile.ThreadCreate)
+	return &Strand{
+		name:  name,
+		prio:  prio,
+		state: Blocked,
+		sched: sched,
+		body:  body,
+		token: make(chan struct{}),
+	}
+}
+
+// Block signals the scheduler that s is not runnable (paper: a disk driver
+// blocks the current strand during an I/O operation). It raises the
+// Strand.Block event; the default implementation dequeues the strand.
+func (sched *Scheduler) Block(s *Strand) {
+	sched.clock.Advance(sched.profile.SchedOp)
+	sched.disp.Raise(EvBlock, s)
+}
+
+// Unblock signals that s is runnable (e.g. an interrupt handler completing
+// an I/O).
+func (sched *Scheduler) Unblock(s *Strand) {
+	sched.clock.Advance(sched.profile.SchedOp)
+	sched.disp.Raise(EvUnblock, s)
+}
+
+func (sched *Scheduler) doBlock(s *Strand) {
+	switch s.state {
+	case Running:
+		s.state = Blocked
+	case Runnable:
+		s.state = Blocked
+		sched.dequeue(s)
+	}
+}
+
+func (sched *Scheduler) doUnblock(s *Strand) {
+	if s.state == Blocked {
+		s.state = Runnable
+		sched.runq[s.prio] = append(sched.runq[s.prio], s)
+	}
+}
+
+func (sched *Scheduler) dequeue(s *Strand) {
+	q := sched.runq[s.prio]
+	for i, x := range q {
+		if x == s {
+			sched.runq[s.prio] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// pick returns the next strand: highest priority, FIFO within a level.
+func (sched *Scheduler) pick() *Strand {
+	best := -1 << 31
+	found := false
+	for prio, q := range sched.runq {
+		if len(q) > 0 && (!found || prio > best) {
+			best = prio
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	q := sched.runq[best]
+	s := q[0]
+	sched.runq[best] = q[1:]
+	return s
+}
+
+// Run drives the virtual CPU until no strand is runnable and no timer is
+// pending: the scheduler loop of the machine. Each dispatch charges a
+// context switch, raises Checkpoint on the outgoing strand and Resume on
+// the incoming one, and hands the incoming strand the CPU token. Engine
+// events that have come due (timers, interrupts) are delivered between
+// strand dispatches; when nothing is runnable the scheduler idles forward
+// to the next event.
+func (sched *Scheduler) Run() {
+	for {
+		// Deliver due engine events (e.g. Sleep timers) before picking.
+		for {
+			at, ok := sched.engine.NextEventTime()
+			if !ok || at > sched.clock.Now() {
+				break
+			}
+			sched.engine.Step()
+		}
+		next := sched.pick()
+		if next == nil {
+			// Idle: advance to the next timer if one exists.
+			if sched.engine.Step() {
+				continue
+			}
+			return
+		}
+		if sched.last != next {
+			sched.clock.Advance(sched.profile.ContextSwitch)
+			sched.switches++
+			if sched.last != nil && !sched.last.exited {
+				sched.disp.Raise(EvCheckpoint, sched.last)
+			}
+			sched.disp.Raise(EvResume, next)
+		}
+		sched.last = next
+		sched.current = next
+		next.state = Running
+		if !next.started {
+			next.started = true
+			go func(s *Strand) {
+				<-s.token
+				s.body(s)
+				s.exit()
+			}(next)
+		}
+		// Hand over the CPU and wait for it back.
+		next.token <- struct{}{}
+		<-sched.yieldCh
+		sched.current = nil
+	}
+}
+
+// yieldToScheduler gives the CPU back to the scheduler loop and waits to be
+// rescheduled (unless dying).
+func (s *Strand) yieldToScheduler(dying bool) {
+	s.sched.yieldCh <- struct{}{}
+	if dying {
+		return
+	}
+	<-s.token
+}
+
+// exit terminates the strand.
+func (s *Strand) exit() {
+	s.exited = true
+	s.state = Dead
+	s.yieldToScheduler(true)
+}
+
+// BlockSelf blocks the calling strand and yields; the strand resumes after
+// someone Unblocks it. Must be called from the strand's own body.
+func (s *Strand) BlockSelf() {
+	s.sched.clock.Advance(s.sched.profile.SchedOp)
+	s.sched.disp.Raise(EvCheckpoint, s)
+	s.sched.disp.Raise(EvBlock, s)
+	s.yieldToScheduler(false)
+}
+
+// Yield is a preemption point: the caller goes to the back of its run queue
+// and the scheduler re-picks — delivering any due timer or interrupt events
+// on the way. If nothing else is runnable the caller continues immediately
+// (re-picking the same strand does not charge a context switch). The kernel
+// is preemptive — strand code is expected to pass preemption points
+// regularly, so a handler cannot take over the processor.
+func (s *Strand) Yield() {
+	sched := s.sched
+	s.state = Runnable
+	sched.runq[s.prio] = append(sched.runq[s.prio], s)
+	s.yieldToScheduler(false)
+}
+
+// Start makes a fresh strand runnable. (Convenience for Unblock on a
+// newly created strand.)
+func (sched *Scheduler) Start(s *Strand) { sched.Unblock(s) }
+
+// Switches reports context switches performed.
+func (sched *Scheduler) Switches() int64 { return sched.switches }
+
+// Current returns the strand holding the CPU, if any.
+func (sched *Scheduler) Current() *Strand { return sched.current }
+
+// GuardStrandOwner builds a dispatch guard admitting only events for
+// strands in the given set — the trusted package's mechanism for ensuring
+// "extensions do not install handlers on strands for which they do not
+// possess a capability".
+func GuardStrandOwner(owned ...*Strand) dispatch.Guard {
+	set := make(map[*Strand]bool, len(owned))
+	for _, s := range owned {
+		set[s] = true
+	}
+	return func(arg any) bool {
+		s, ok := arg.(*Strand)
+		return ok && set[s]
+	}
+}
+
+// Identity for the trusted in-kernel thread package.
+var trustedPkg = domain.Identity{Name: "kernel-threads", Trusted: true}

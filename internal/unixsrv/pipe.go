@@ -1,0 +1,75 @@
+package unixsrv
+
+import "spin/internal/strand"
+
+// Pipes: the canonical UNIX IPC, built from the thread package's
+// synchronization primitives — a bounded buffer with blocking reads.
+
+// pipe is the shared state behind a pipe's two descriptors.
+type pipe struct {
+	buf     []byte
+	data    *strand.Semaphore // counts readable bytes (coarsely: signals)
+	readers int
+	writers int
+	closed  bool
+}
+
+// Pipe creates a connected read/write descriptor pair, like pipe(2).
+func (p *Process) Pipe() (readFD, writeFD int, err error) {
+	p.enterKernel()
+	if p.exited {
+		return 0, 0, ErrDeadProc
+	}
+	sh := &pipe{data: p.srv.threads.NewSemaphore(0), readers: 1, writers: 1}
+	readFD = p.nextFD
+	p.nextFD++
+	writeFD = p.nextFD
+	p.nextFD++
+	p.fds[readFD] = &openFile{name: "<pipe:r>", read: true, pipe: sh}
+	p.fds[writeFD] = &openFile{name: "<pipe:w>", write: true, pipe: sh}
+	return readFD, writeFD, nil
+}
+
+// pipeWrite appends data and signals a reader.
+func (p *Process) pipeWrite(f *openFile, data []byte) (int, error) {
+	sh := f.pipe
+	if sh.readers == 0 {
+		return 0, ErrBadFD // EPIPE analogue
+	}
+	sh.buf = append(sh.buf, data...)
+	sh.data.V()
+	return len(data), nil
+}
+
+// pipeRead blocks until bytes are available or all writers are gone.
+func (p *Process) pipeRead(f *openFile, n int) ([]byte, error) {
+	sh := f.pipe
+	for len(sh.buf) == 0 {
+		if sh.writers == 0 {
+			return nil, nil // EOF
+		}
+		sh.data.P()
+	}
+	if n > len(sh.buf) {
+		n = len(sh.buf)
+	}
+	out := append([]byte(nil), sh.buf[:n]...)
+	sh.buf = sh.buf[n:]
+	return out, nil
+}
+
+// closePipeEnd adjusts reference counts when a pipe descriptor closes; the
+// last writer's close wakes blocked readers so they observe EOF.
+func (p *Process) closePipeEnd(f *openFile) {
+	sh := f.pipe
+	if f.read {
+		sh.readers--
+	}
+	if f.write {
+		sh.writers--
+		if sh.writers == 0 {
+			// Wake any blocked reader to deliver EOF.
+			sh.data.V()
+		}
+	}
+}

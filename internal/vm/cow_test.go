@@ -1,0 +1,172 @@
+package vm
+
+import (
+	"testing"
+
+	"spin/internal/domain"
+	"spin/internal/sal"
+)
+
+// Deeper copy-on-write scenarios.
+
+func TestForkChainThreeGenerations(t *testing.T) {
+	sys := newVM(t)
+	gen1 := NewAddressSpace(sys, domain.Identity{Name: "gen1"})
+	region, err := gen1.AllocateMemory(2*sal.PageSize, sal.ProtRead|sal.ProtWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Access(gen1.Ctx, region.Start(), sal.ProtWrite)
+
+	gen2, err := gen1.Copy(domain.Identity{Name: "gen2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen3, err := gen2.Copy(domain.Identity{Name: "gen3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All three read the same frame.
+	f1, _ := sys.TransSvc.FrameOf(gen1.Ctx, region, 0)
+	f2, _ := sys.TransSvc.FrameOf(gen2.Ctx, region, 0)
+	f3, _ := sys.TransSvc.FrameOf(gen3.Ctx, region, 0)
+	if f1 != f2 || f2 != f3 {
+		t.Fatalf("generations not sharing: %d %d %d", f1, f2, f3)
+	}
+
+	// The grandchild writes: only it splits.
+	if f, _ := sys.Access(gen3.Ctx, region.Start(), sal.ProtWrite); f != nil {
+		t.Fatalf("gen3 write: %v", f.Kind)
+	}
+	nf3, _ := sys.TransSvc.FrameOf(gen3.Ctx, region, 0)
+	nf1, _ := sys.TransSvc.FrameOf(gen1.Ctx, region, 0)
+	nf2, _ := sys.TransSvc.FrameOf(gen2.Ctx, region, 0)
+	if nf3 == f1 {
+		t.Error("gen3 did not split")
+	}
+	if nf1 != f1 || nf2 != f2 {
+		t.Error("gen1/gen2 frames changed by gen3's write")
+	}
+
+	// Then the parent writes: it splits too; gen2 keeps the original.
+	if f, _ := sys.Access(gen1.Ctx, region.Start(), sal.ProtWrite); f != nil {
+		t.Fatalf("gen1 write: %v", f.Kind)
+	}
+	wf1, _ := sys.TransSvc.FrameOf(gen1.Ctx, region, 0)
+	wf2, _ := sys.TransSvc.FrameOf(gen2.Ctx, region, 0)
+	if wf1 == wf2 {
+		t.Error("gen1 write did not split from gen2")
+	}
+	gen1.Destroy()
+	gen2.Destroy()
+	gen3.Destroy()
+}
+
+func TestCOWSecondPageIndependent(t *testing.T) {
+	sys := newVM(t)
+	parent := NewAddressSpace(sys, domain.Identity{Name: "p"})
+	region, _ := parent.AllocateMemory(4*sal.PageSize, sal.ProtRead|sal.ProtWrite)
+	child, err := parent.Copy(domain.Identity{Name: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child writes page 2 only.
+	if f, _ := sys.Access(child.Ctx, region.Start()+2*sal.PageSize, sal.ProtWrite); f != nil {
+		t.Fatalf("write: %v", f.Kind)
+	}
+	for i := 0; i < 4; i++ {
+		pf, _ := sys.TransSvc.FrameOf(parent.Ctx, region, i)
+		cf, _ := sys.TransSvc.FrameOf(child.Ctx, region, i)
+		if i == 2 && pf == cf {
+			t.Errorf("page 2 still shared")
+		}
+		if i != 2 && pf != cf {
+			t.Errorf("page %d split without a write", i)
+		}
+	}
+	if child.CowFaults != 1 {
+		t.Errorf("cow faults = %d", child.CowFaults)
+	}
+}
+
+func TestReclaimSharedCOWFrame(t *testing.T) {
+	// Reclaiming physical memory that backs a COW-shared page must
+	// invalidate the mapping in every sharing context.
+	sys := newVM(t)
+	parent := NewAddressSpace(sys, domain.Identity{Name: "p"})
+	region, _ := parent.AllocateMemory(sal.PageSize, sal.ProtRead|sal.ProtWrite)
+	child, _ := parent.Copy(domain.Identity{Name: "c"})
+
+	frame, _ := sys.TransSvc.FrameOf(parent.Ctx, region, 0)
+	if sys.TransSvc.MappingsOf(frame) != 2 {
+		t.Fatalf("mappings = %d, want 2", sys.TransSvc.MappingsOf(frame))
+	}
+	// Find the PhysAddr capability backing the region (it is the
+	// parent's first allocation).
+	victim := parent.regions[0].p
+	if _, err := sys.PhysSvc.Reclaim(victim); err != nil {
+		t.Fatal(err)
+	}
+	if sys.TransSvc.MappingsOf(frame) != 0 {
+		t.Errorf("mappings survived reclaim: %d", sys.TransSvc.MappingsOf(frame))
+	}
+	// Both sides now fault (and their COW handlers cannot resolve a
+	// missing frame, so the fault surfaces).
+	if f, _ := sys.Access(parent.Ctx, region.Start(), sal.ProtRead); f == nil {
+		t.Error("parent mapping survived reclaim")
+	}
+	if f, _ := sys.Access(child.Ctx, region.Start(), sal.ProtRead); f == nil {
+		t.Error("child mapping survived reclaim")
+	}
+}
+
+func TestCOWReadOnlyRegionNeverSplits(t *testing.T) {
+	sys := newVM(t)
+	parent := NewAddressSpace(sys, domain.Identity{Name: "p"})
+	text, _ := parent.AllocateMemory(sal.PageSize, sal.ProtRead|sal.ProtExec)
+	child, _ := parent.Copy(domain.Identity{Name: "c"})
+	// Reads on both sides: no faults, no splits.
+	if f, _ := sys.Access(parent.Ctx, text.Start(), sal.ProtRead); f != nil {
+		t.Fatalf("parent read: %v", f.Kind)
+	}
+	if f, _ := sys.Access(child.Ctx, text.Start(), sal.ProtRead); f != nil {
+		t.Fatalf("child read: %v", f.Kind)
+	}
+	pf, _ := sys.TransSvc.FrameOf(parent.Ctx, text, 0)
+	cf, _ := sys.TransSvc.FrameOf(child.Ctx, text, 0)
+	if pf != cf {
+		t.Error("read-only region split")
+	}
+	// A write to the read-only region faults and stays faulted (the COW
+	// handler only covers shared writable regions).
+	if f, _ := sys.Access(child.Ctx, text.Start(), sal.ProtWrite); f == nil {
+		t.Error("write to read-only text succeeded")
+	}
+}
+
+func TestFreePagesConservedAcrossForkLifecycle(t *testing.T) {
+	sys := newVM(t)
+	before := sys.PhysSvc.FreePages()
+	parent := NewAddressSpace(sys, domain.Identity{Name: "p"})
+	region, _ := parent.AllocateMemory(4*sal.PageSize, sal.ProtRead|sal.ProtWrite)
+	child, _ := parent.Copy(domain.Identity{Name: "c"})
+	// Child splits two pages.
+	sys.Access(child.Ctx, region.Start(), sal.ProtWrite)
+	sys.Access(child.Ctx, region.Start()+sal.PageSize, sal.ProtWrite)
+	parent.Destroy()
+	child.Destroy()
+	// Destroy tears down contexts; physical pages are still owned by
+	// their capabilities. Release them through the service.
+	for _, r := range append(parent.regions, child.regions...) {
+		_ = sys.PhysSvc.Deallocate(r.p)
+	}
+	// The child's split pages were allocated by the COW handler and held
+	// in its cowPrivate list.
+	for _, p := range child.cowPrivate {
+		_ = sys.PhysSvc.Deallocate(p)
+	}
+	if got := sys.PhysSvc.FreePages(); got != before {
+		t.Errorf("free pages = %d, want %d (leak of %d)", got, before, before-got)
+	}
+}

@@ -1,0 +1,268 @@
+package vm
+
+import (
+	"fmt"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sal"
+)
+
+// This file contains kernel extensions built *on top of* the three core
+// services, demonstrating the paper's claim that higher-level memory
+// abstractions — demand paging, UNIX address spaces with copy-on-write,
+// Mach-style tasks — compose from fine-grained operations.
+
+// DemandZero implements zero-fill demand paging for one region: it installs
+// a guarded handler on Translation.PageNotPresent that allocates a physical
+// page and maps it on first touch.
+type DemandZero struct {
+	sys    *System
+	ctx    *Context
+	region *VirtAddr
+	prot   sal.Prot
+	ref    dispatch.HandlerRef
+	// Faults counts pages materialized.
+	Faults int
+}
+
+// NewDemandZero arms demand-zero paging over region in ctx. The region is
+// marked allocated so untouched pages fault as PageNotPresent.
+func NewDemandZero(sys *System, ctx *Context, region *VirtAddr, prot sal.Prot, installer domain.Identity) (*DemandZero, error) {
+	dz := &DemandZero{sys: sys, ctx: ctx, region: region, prot: prot}
+	if err := sys.TransSvc.MarkAllocated(ctx, region); err != nil {
+		return nil, err
+	}
+	lo, hi := region.VPN(0), region.VPN(region.Pages()-1)
+	ref, err := sys.Disp.Install(EvPageNotPresent, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		page := int(f.VPN - lo)
+		p, err := sys.PhysSvc.Allocate(sal.PageSize, AnyAttrib)
+		if err != nil {
+			return false
+		}
+		if err := sys.TransSvc.MapPage(ctx, region, page, p, 0, prot); err != nil {
+			return false
+		}
+		dz.Faults++
+		return true
+	}, dispatch.InstallOptions{
+		Installer: installer,
+		Guard: func(arg any) bool {
+			f, ok := arg.(*sal.Fault)
+			return ok && f.Context == ctx.id && f.VPN >= lo && f.VPN <= hi
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dz.ref = ref
+	return dz, nil
+}
+
+// Disarm removes the handler.
+func (dz *DemandZero) Disarm() { _ = dz.sys.Disp.Remove(dz.ref) }
+
+// AddressSpace is the UNIX-address-space extension (paper §4.1: "we have
+// built an extension that implements UNIX address space semantics ... It
+// exports an interface for copying an existing address space, and for
+// allocating additional memory within one").
+type AddressSpace struct {
+	sys  *System
+	Ctx  *Context
+	asid uint64
+	// regions tracks the allocated ranges and their nominal protections.
+	regions []*asRegion
+	ident   domain.Identity
+	cowRef  dispatch.HandlerRef
+	armed   bool
+	// cowPrivate holds the physical capabilities allocated by the COW
+	// handler, so the owner can release them when the space dies.
+	cowPrivate []*PhysAddr
+	// CowFaults counts copy-on-write copies performed.
+	CowFaults int
+}
+
+type asRegion struct {
+	v    *VirtAddr
+	p    *PhysAddr
+	prot sal.Prot
+	// shared marks regions currently in copy-on-write sharing.
+	shared bool
+}
+
+// NewAddressSpace creates an empty address space.
+func NewAddressSpace(sys *System, ident domain.Identity) *AddressSpace {
+	as := &AddressSpace{
+		sys:   sys,
+		Ctx:   sys.TransSvc.Create(),
+		asid:  sys.VirtSvc.NewASID(),
+		ident: ident,
+	}
+	return as
+}
+
+// AllocateMemory grows the space by size bytes of zeroed, mapped memory and
+// returns the new region's virtual range. It composes the three services
+// directly: virtual range, physical pages, mapping.
+func (as *AddressSpace) AllocateMemory(size int64, prot sal.Prot) (*VirtAddr, error) {
+	v, err := as.sys.VirtSvc.Allocate(as.asid, size, AnyAttrib)
+	if err != nil {
+		return nil, err
+	}
+	p, err := as.sys.PhysSvc.Allocate(v.Size(), AnyAttrib)
+	if err != nil {
+		return nil, err
+	}
+	if err := as.sys.TransSvc.AddMapping(as.Ctx, v, p, prot); err != nil {
+		return nil, err
+	}
+	as.regions = append(as.regions, &asRegion{v: v, p: p, prot: prot})
+	return v, nil
+}
+
+// Copy implements fork-style address space copy with copy-on-write: the
+// child shares the parent's physical pages; both sides' writable regions are
+// write-protected, and a ProtectionFault handler copies a page on first
+// write.
+func (as *AddressSpace) Copy(childIdent domain.Identity) (*AddressSpace, error) {
+	child := NewAddressSpace(as.sys, childIdent)
+	child.asid = as.asid // same numbering so regions align
+	for _, r := range as.regions {
+		// Share the parent's frames in the child at read-only
+		// protection; write-protect the parent too.
+		shareProt := r.prot &^ sal.ProtWrite
+		if err := as.sys.TransSvc.AddMapping(child.Ctx, r.v, r.p, shareProt); err != nil {
+			return nil, err
+		}
+		if r.prot&sal.ProtWrite != 0 {
+			if err := as.sys.TransSvc.Protect(as.Ctx, r.v, shareProt); err != nil {
+				return nil, err
+			}
+			r.shared = true
+		}
+		child.regions = append(child.regions, &asRegion{v: r.v, p: r.p, prot: r.prot, shared: r.prot&sal.ProtWrite != 0})
+	}
+	if err := as.armCOW(); err != nil {
+		return nil, err
+	}
+	if err := child.armCOW(); err != nil {
+		return nil, err
+	}
+	return child, nil
+}
+
+// armCOW installs this space's copy-on-write fault handler (idempotent).
+func (as *AddressSpace) armCOW() error {
+	if as.armed {
+		return nil
+	}
+	ref, err := as.sys.Disp.Install(EvProtectionFault, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		return as.resolveCOW(f)
+	}, dispatch.InstallOptions{
+		Installer: as.ident,
+		Guard: func(arg any) bool {
+			f, ok := arg.(*sal.Fault)
+			return ok && f.Context == as.Ctx.id && f.Access&sal.ProtWrite != 0
+		},
+	})
+	if err != nil {
+		return err
+	}
+	as.cowRef = ref
+	as.armed = true
+	return nil
+}
+
+// resolveCOW gives the faulting space a private copy of the written page.
+func (as *AddressSpace) resolveCOW(f *sal.Fault) bool {
+	for _, r := range as.regions {
+		if !r.shared {
+			continue
+		}
+		lo, hi := r.v.VPN(0), r.v.VPN(r.v.Pages()-1)
+		if f.VPN < lo || f.VPN > hi {
+			continue
+		}
+		page := int(f.VPN - lo)
+		// Allocate a private frame and copy the shared page into it.
+		private, err := as.sys.PhysSvc.Allocate(sal.PageSize, AnyAttrib)
+		if err != nil {
+			return false
+		}
+		as.sys.Clock.Advance(as.sys.Profile.CopyPerWord * (sal.PageSize / 8))
+		if err := as.sys.TransSvc.MapPage(as.Ctx, r.v, page, private, 0, r.prot); err != nil {
+			return false
+		}
+		as.cowPrivate = append(as.cowPrivate, private)
+		as.CowFaults++
+		return true
+	}
+	return false
+}
+
+// Destroy tears the space down.
+func (as *AddressSpace) Destroy() {
+	if as.armed {
+		_ = as.sys.Disp.Remove(as.cowRef)
+		as.armed = false
+	}
+	_ = as.sys.TransSvc.Destroy(as.Ctx)
+}
+
+// Task is the Mach-task-flavoured extension (paper: "Another kernel
+// extension defines a memory management interface supporting Mach's task
+// abstraction"): vm_allocate / vm_protect / vm_deallocate over an address
+// space.
+type Task struct {
+	as *AddressSpace
+}
+
+// NewTask creates a task with an empty address space.
+func NewTask(sys *System, ident domain.Identity) *Task {
+	return &Task{as: NewAddressSpace(sys, ident)}
+}
+
+// VMAllocate allocates size bytes of zero memory, returning its address.
+func (t *Task) VMAllocate(size int64) (uint64, error) {
+	v, err := t.as.AllocateMemory(size, sal.ProtRead|sal.ProtWrite)
+	if err != nil {
+		return 0, err
+	}
+	return v.Start(), nil
+}
+
+// VMProtect sets the protection of the region containing addr.
+func (t *Task) VMProtect(addr uint64, prot sal.Prot) error {
+	r := t.as.regionAt(addr)
+	if r == nil {
+		return fmt.Errorf("vm: task has no region at %#x", addr)
+	}
+	r.prot = prot
+	return t.as.sys.TransSvc.Protect(t.as.Ctx, r.v, prot)
+}
+
+// VMDeallocate removes the region containing addr.
+func (t *Task) VMDeallocate(addr uint64) error {
+	r := t.as.regionAt(addr)
+	if r == nil {
+		return fmt.Errorf("vm: task has no region at %#x", addr)
+	}
+	if err := t.as.sys.TransSvc.RemoveMapping(t.as.Ctx, r.v); err != nil {
+		return err
+	}
+	return t.as.sys.VirtSvc.Deallocate(r.v)
+}
+
+// AddressSpace exposes the underlying space.
+func (t *Task) AddressSpace() *AddressSpace { return t.as }
+
+func (as *AddressSpace) regionAt(addr uint64) *asRegion {
+	for _, r := range as.regions {
+		if addr >= r.v.Start() && addr < r.v.Start()+uint64(r.v.Size()) {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package vm
+
+import (
+	"fmt"
+
+	"spin/internal/sal"
+)
+
+// Context is a capability for an addressing context (Translation.T).
+type Context struct {
+	id    uint64
+	owner *TranslationService
+	dead  bool
+}
+
+// ID exposes the underlying MMU context id for diagnostic use.
+func (c *Context) ID() uint64 { return c.id }
+
+// mapping records one page mapped in one context, for reverse lookups.
+type mapping struct {
+	ctx *Context
+	vpn uint64
+}
+
+// TranslationService expresses the relationship between virtual addresses
+// and physical memory: it interprets references to both, constructs
+// mappings, and installs them into the MMU. It raises the
+// Translation.{PageNotPresent,BadAddress,ProtectionFault} events on
+// exceptional MMU conditions (via System.Access).
+type TranslationService struct {
+	sys  *System
+	live map[*Context]bool
+	// reverse maps frame -> mappings, so reclaimed or deallocated
+	// physical memory can have all its mappings invalidated.
+	reverse map[uint64][]mapping
+	// backing maps (ctx,vpn) -> frame, so removals can update reverse.
+	backing map[uint64]map[uint64]uint64
+}
+
+func newTranslationService(sys *System) *TranslationService {
+	return &TranslationService{
+		sys:     sys,
+		live:    make(map[*Context]bool),
+		reverse: make(map[uint64][]mapping),
+		backing: make(map[uint64]map[uint64]uint64),
+	}
+}
+
+// Create allocates a new addressing context.
+func (svc *TranslationService) Create() *Context {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	ctx := &Context{id: svc.sys.MMU.CreateContext(), owner: svc}
+	svc.live[ctx] = true
+	svc.backing[ctx.id] = make(map[uint64]uint64)
+	return ctx
+}
+
+// Destroy tears down a context and all its mappings.
+func (svc *TranslationService) Destroy(ctx *Context) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if ctx == nil || ctx.dead || !svc.live[ctx] {
+		return badCap("Translation.T")
+	}
+	for vpn, frame := range svc.backing[ctx.id] {
+		svc.dropReverse(frame, ctx, vpn)
+	}
+	delete(svc.backing, ctx.id)
+	_ = svc.sys.MMU.DestroyContext(ctx.id)
+	delete(svc.live, ctx)
+	ctx.dead = true
+	return nil
+}
+
+// AddMapping maps the pages of v onto the frames of p in ctx with the given
+// protection. v and p must cover the same number of pages.
+func (svc *TranslationService) AddMapping(ctx *Context, v *VirtAddr, p *PhysAddr, prot sal.Prot) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	if v == nil || v.dead {
+		return badCap("VirtAddr.T")
+	}
+	if p == nil || p.dead {
+		return badCap("PhysAddr.T")
+	}
+	if v.Pages() != p.Pages() {
+		return fmt.Errorf("vm: AddMapping size mismatch: %d virtual pages, %d physical", v.Pages(), p.Pages())
+	}
+	svc.sys.Clock.Advance(svc.sys.Profile.VMServiceFixed)
+	for i := 0; i < v.Pages(); i++ {
+		vpn := v.VPN(i)
+		frame := p.frames[i]
+		if err := svc.sys.MMU.Install(ctx.id, vpn, sal.PTE{Frame: frame, Prot: prot}); err != nil {
+			return err
+		}
+		svc.backing[ctx.id][vpn] = frame
+		svc.reverse[frame] = append(svc.reverse[frame], mapping{ctx: ctx, vpn: vpn})
+	}
+	return nil
+}
+
+// MapPage maps a single page of v (page index i) onto a single frame of p
+// (page index j) — the finest-grained composition the interface allows.
+func (svc *TranslationService) MapPage(ctx *Context, v *VirtAddr, i int, p *PhysAddr, j int, prot sal.Prot) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	if v == nil || v.dead || i < 0 || i >= v.Pages() {
+		return badCap("VirtAddr.T page")
+	}
+	if p == nil || p.dead || j < 0 || j >= len(p.frames) {
+		return badCap("PhysAddr.T page")
+	}
+	vpn := v.VPN(i)
+	frame := p.frames[j]
+	if err := svc.sys.MMU.Install(ctx.id, vpn, sal.PTE{Frame: frame, Prot: prot}); err != nil {
+		return err
+	}
+	svc.backing[ctx.id][vpn] = frame
+	svc.reverse[frame] = append(svc.reverse[frame], mapping{ctx: ctx, vpn: vpn})
+	return nil
+}
+
+// RemoveMapping unmaps the pages of v from ctx.
+func (svc *TranslationService) RemoveMapping(ctx *Context, v *VirtAddr) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	if v == nil || v.dead {
+		return badCap("VirtAddr.T")
+	}
+	svc.sys.Clock.Advance(svc.sys.Profile.VMServiceFixed)
+	for i := 0; i < v.Pages(); i++ {
+		vpn := v.VPN(i)
+		if frame, ok := svc.backing[ctx.id][vpn]; ok {
+			svc.dropReverse(frame, ctx, vpn)
+			delete(svc.backing[ctx.id], vpn)
+		}
+		_ = svc.sys.MMU.Remove(ctx.id, vpn)
+	}
+	return nil
+}
+
+// UnmapPage removes the mapping of a single page of v (page index i) from
+// ctx — the finest-grained removal, used by pagers evicting one page.
+func (svc *TranslationService) UnmapPage(ctx *Context, v *VirtAddr, i int) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	if v == nil || v.dead || i < 0 || i >= v.Pages() {
+		return badCap("VirtAddr.T page")
+	}
+	vpn := v.VPN(i)
+	if frame, ok := svc.backing[ctx.id][vpn]; ok {
+		svc.dropReverse(frame, ctx, vpn)
+		delete(svc.backing[ctx.id], vpn)
+	}
+	return svc.sys.MMU.Remove(ctx.id, vpn)
+}
+
+// Protect changes the protection of the pages of v in ctx: one fixed
+// service charge plus a per-page MMU operation (the Prot1/Prot100 shape).
+func (svc *TranslationService) Protect(ctx *Context, v *VirtAddr, prot sal.Prot) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	if v == nil || v.dead {
+		return badCap("VirtAddr.T")
+	}
+	svc.sys.Clock.Advance(svc.sys.Profile.VMServiceFixed)
+	for i := 0; i < v.Pages(); i++ {
+		if err := svc.sys.MMU.Protect(ctx.id, v.VPN(i), prot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProtectPage changes the protection of a single page of v.
+func (svc *TranslationService) ProtectPage(ctx *Context, v *VirtAddr, i int, prot sal.Prot) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	if v == nil || v.dead || i < 0 || i >= v.Pages() {
+		return badCap("VirtAddr.T page")
+	}
+	svc.sys.Clock.Advance(svc.sys.Profile.VMServiceFixed)
+	return svc.sys.MMU.Protect(ctx.id, v.VPN(i), prot)
+}
+
+// ExamineMapping returns the protection of the first page of v in ctx.
+func (svc *TranslationService) ExamineMapping(ctx *Context, v *VirtAddr) (sal.Prot, error) {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if err := svc.check(ctx); err != nil {
+		return 0, err
+	}
+	if v == nil || v.dead {
+		return 0, badCap("VirtAddr.T")
+	}
+	pte, ok := svc.sys.MMU.Examine(ctx.id, v.VPN(0))
+	if !ok {
+		return sal.ProtNone, nil
+	}
+	return pte.Prot, nil
+}
+
+// MarkAllocated tells the MMU which pages of v are VM-allocated in ctx so
+// unmapped accesses fault as PageNotPresent rather than BadAddress.
+func (svc *TranslationService) MarkAllocated(ctx *Context, v *VirtAddr) error {
+	if err := svc.check(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < v.Pages(); i++ {
+		_ = svc.sys.MMU.MarkAllocated(ctx.id, v.VPN(i), true)
+	}
+	return nil
+}
+
+// FrameOf exposes the frame backing page i of v in ctx, for extensions that
+// compose services (e.g. copy-on-write needs the source frame).
+func (svc *TranslationService) FrameOf(ctx *Context, v *VirtAddr, i int) (uint64, bool) {
+	if ctx == nil || ctx.dead {
+		return 0, false
+	}
+	f, ok := svc.backing[ctx.id][v.VPN(i)]
+	return f, ok
+}
+
+func (svc *TranslationService) check(ctx *Context) error {
+	if ctx == nil || ctx.dead || !svc.live[ctx] {
+		return badCap("Translation.T")
+	}
+	return nil
+}
+
+func (svc *TranslationService) dropReverse(frame uint64, ctx *Context, vpn uint64) {
+	list := svc.reverse[frame]
+	out := list[:0]
+	for _, m := range list {
+		if m.ctx != ctx || m.vpn != vpn {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		delete(svc.reverse, frame)
+	} else {
+		svc.reverse[frame] = out
+	}
+}
+
+// invalidateFrames removes every mapping to the given frames; called when
+// physical memory is reclaimed or deallocated ("The translation service
+// ultimately invalidates any mappings to a reclaimed page").
+func (svc *TranslationService) invalidateFrames(frames []uint64) {
+	for _, f := range frames {
+		for _, m := range svc.reverse[f] {
+			_ = svc.sys.MMU.Remove(m.ctx.id, m.vpn)
+			delete(svc.backing[m.ctx.id], m.vpn)
+		}
+		delete(svc.reverse, f)
+	}
+}
+
+// removeRangeEverywhere removes mappings of v from every live context;
+// called when a virtual range is deallocated.
+func (svc *TranslationService) removeRangeEverywhere(v *VirtAddr) {
+	for ctx := range svc.live {
+		for i := 0; i < v.Pages(); i++ {
+			vpn := v.VPN(i)
+			if frame, ok := svc.backing[ctx.id][vpn]; ok {
+				svc.dropReverse(frame, ctx, vpn)
+				delete(svc.backing[ctx.id], vpn)
+				_ = svc.sys.MMU.Remove(ctx.id, vpn)
+			}
+		}
+	}
+}
+
+// MappingsOf reports how many contexts currently map frame — used by tests
+// and by the reclaim path.
+func (svc *TranslationService) MappingsOf(frame uint64) int {
+	return len(svc.reverse[frame])
+}

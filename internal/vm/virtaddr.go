@@ -1,0 +1,96 @@
+package vm
+
+import (
+	"spin/internal/sal"
+)
+
+// VirtAddr is a capability for a range of virtual addresses (VirtAddr.T):
+// "composed of a virtual address, a length, and an address space identifier
+// that makes the address unique".
+type VirtAddr struct {
+	start uint64
+	size  int64
+	asid  uint64
+	owner *VirtAddrService
+	dead  bool
+}
+
+// Start returns the first virtual address of the range.
+func (v *VirtAddr) Start() uint64 { return v.start }
+
+// Size returns the range length in bytes.
+func (v *VirtAddr) Size() int64 { return v.size }
+
+// ASID returns the address space identifier qualifying the range.
+func (v *VirtAddr) ASID() uint64 { return v.asid }
+
+// Pages returns the number of pages in the range.
+func (v *VirtAddr) Pages() int { return int(v.size / sal.PageSize) }
+
+// VPN returns the virtual page number of page i of the range.
+func (v *VirtAddr) VPN(i int) uint64 { return (v.start >> sal.PageShift) + uint64(i) }
+
+// VirtAddrService allocates capabilities for virtual addresses.
+type VirtAddrService struct {
+	sys *System
+	// next is the per-ASID bump pointer. User ranges start above the
+	// kernel reservation.
+	next     map[uint64]uint64
+	nextASID uint64
+	live     map[*VirtAddr]bool
+}
+
+// userBase is the lowest user virtual address handed out.
+const userBase = 1 << 24 // 16 MB
+
+func newVirtAddrService(sys *System) *VirtAddrService {
+	return &VirtAddrService{
+		sys:      sys,
+		next:     make(map[uint64]uint64),
+		nextASID: 1,
+		live:     make(map[*VirtAddr]bool),
+	}
+}
+
+// NewASID mints a fresh address-space identifier.
+func (svc *VirtAddrService) NewASID() uint64 {
+	id := svc.nextASID
+	svc.nextASID++
+	svc.next[id] = userBase
+	return id
+}
+
+// Allocate grants a capability for size bytes (rounded up to whole pages) of
+// virtual address range in the given address space.
+func (svc *VirtAddrService) Allocate(asid uint64, size int64, _ Attrib) (*VirtAddr, error) {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if size <= 0 {
+		size = sal.PageSize
+	}
+	size = (size + sal.PageSize - 1) &^ (sal.PageSize - 1)
+	cur, ok := svc.next[asid]
+	if !ok {
+		cur = userBase
+	}
+	const ceiling = uint64(1) << 42
+	if cur+uint64(size) > ceiling {
+		return nil, ErrNoSpace
+	}
+	v := &VirtAddr{start: cur, size: size, asid: asid, owner: svc}
+	svc.next[asid] = cur + uint64(size)
+	svc.live[v] = true
+	return v, nil
+}
+
+// Deallocate releases the range; the translation service removes any
+// mappings within it first.
+func (svc *VirtAddrService) Deallocate(v *VirtAddr) error {
+	svc.sys.Clock.Advance(svc.sys.Profile.CrossDomainCall)
+	if v == nil || v.dead || !svc.live[v] {
+		return badCap("VirtAddr.T")
+	}
+	svc.sys.TransSvc.removeRangeEverywhere(v)
+	delete(svc.live, v)
+	v.dead = true
+	return nil
+}

@@ -1,0 +1,98 @@
+package vm
+
+import (
+	"sort"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/sal"
+)
+
+// WriteBarrier implements the fault-based write tracking that concurrent
+// and generational garbage collectors build on the VM interface (§5.2:
+// "concurrent and generational garbage collectors can use write faults to
+// maintain invariants or collect reference information" — the workload the
+// Appel benchmarks in Table 4 model). A phase write-protects the region;
+// the first write to each page faults once, the handler records the page in
+// the dirty set (the collector's remembered set) and opens it for further
+// writes at full speed. ResetPhase starts the next collection cycle.
+type WriteBarrier struct {
+	sys    *System
+	ctx    *Context
+	region *VirtAddr
+	ref    dispatch.HandlerRef
+
+	dirty map[int]bool
+	// BarrierFaults counts first-write faults taken.
+	BarrierFaults int
+	// Phases counts ResetPhase calls.
+	Phases int
+}
+
+// NewWriteBarrier arms tracking over region in ctx (which must already be
+// mapped writable) and begins the first phase.
+func NewWriteBarrier(sys *System, ctx *Context, region *VirtAddr, installer domain.Identity) (*WriteBarrier, error) {
+	wb := &WriteBarrier{
+		sys:    sys,
+		ctx:    ctx,
+		region: region,
+		dirty:  make(map[int]bool),
+	}
+	lo, hi := region.VPN(0), region.VPN(region.Pages()-1)
+	ref, err := sys.Disp.Install(EvProtectionFault, func(arg, _ any) any {
+		f := arg.(*sal.Fault)
+		page := int(f.VPN - lo)
+		if wb.dirty[page] {
+			return false // not ours: already opened
+		}
+		wb.dirty[page] = true
+		wb.BarrierFaults++
+		// Open the page: subsequent writes run at memory speed.
+		return sys.TransSvc.ProtectPage(ctx, region, page, sal.ProtRead|sal.ProtWrite) == nil
+	}, dispatch.InstallOptions{
+		Installer: installer,
+		Guard: func(arg any) bool {
+			f, ok := arg.(*sal.Fault)
+			return ok && f.Context == ctx.ID() && f.Access&sal.ProtWrite != 0 &&
+				f.VPN >= lo && f.VPN <= hi
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	wb.ref = ref
+	if err := wb.protectAll(); err != nil {
+		return nil, err
+	}
+	return wb, nil
+}
+
+// protectAll write-protects the whole region (one batched Prot-N).
+func (wb *WriteBarrier) protectAll() error {
+	return wb.sys.TransSvc.Protect(wb.ctx, wb.region, sal.ProtRead)
+}
+
+// DirtyPages returns the pages written this phase, sorted — the remembered
+// set the collector scans.
+func (wb *WriteBarrier) DirtyPages() []int {
+	out := make([]int, 0, len(wb.dirty))
+	for p := range wb.dirty {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ResetPhase ends the current phase: it clears the dirty set and
+// re-protects the region, beginning the next cycle.
+func (wb *WriteBarrier) ResetPhase() error {
+	wb.dirty = make(map[int]bool)
+	wb.Phases++
+	return wb.protectAll()
+}
+
+// Disarm removes the barrier's fault handler and opens the region.
+func (wb *WriteBarrier) Disarm() error {
+	_ = wb.sys.Disp.Remove(wb.ref)
+	return wb.sys.TransSvc.Protect(wb.ctx, wb.region, sal.ProtRead|sal.ProtWrite)
+}

@@ -1,0 +1,118 @@
+package vm
+
+import (
+	"testing"
+
+	"spin/internal/domain"
+	"spin/internal/sal"
+)
+
+func newBarrierRig(t *testing.T, pages int) (*System, *WriteBarrier, *Context, *VirtAddr) {
+	t.Helper()
+	sys := newVM(t)
+	ctx := sys.TransSvc.Create()
+	asid := sys.VirtSvc.NewASID()
+	region, _ := sys.VirtSvc.Allocate(asid, int64(pages)*sal.PageSize, AnyAttrib)
+	phys, _ := sys.PhysSvc.Allocate(int64(pages)*sal.PageSize, AnyAttrib)
+	if err := sys.TransSvc.AddMapping(ctx, region, phys, sal.ProtRead|sal.ProtWrite); err != nil {
+		t.Fatal(err)
+	}
+	wb, err := NewWriteBarrier(sys, ctx, region, domain.Identity{Name: "gc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, wb, ctx, region
+}
+
+func TestWriteBarrierTracksExactDirtySet(t *testing.T) {
+	sys, wb, ctx, region := newBarrierRig(t, 8)
+	for _, page := range []int{1, 5, 6} {
+		if f, _ := sys.Access(ctx, region.Start()+uint64(page)*sal.PageSize, sal.ProtWrite); f != nil {
+			t.Fatalf("write %d: %v", page, f.Kind)
+		}
+	}
+	got := wb.DirtyPages()
+	want := []int{1, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("dirty = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v", got, want)
+		}
+	}
+	if wb.BarrierFaults != 3 {
+		t.Errorf("faults = %d", wb.BarrierFaults)
+	}
+}
+
+func TestWriteBarrierFaultsOncePerPage(t *testing.T) {
+	sys, wb, ctx, region := newBarrierRig(t, 4)
+	for i := 0; i < 10; i++ {
+		if f, _ := sys.Access(ctx, region.Start(), sal.ProtWrite); f != nil {
+			t.Fatalf("write %d: %v", i, f.Kind)
+		}
+	}
+	if wb.BarrierFaults != 1 {
+		t.Errorf("faults = %d, want 1 (page opened after the first)", wb.BarrierFaults)
+	}
+}
+
+func TestWriteBarrierReadsFree(t *testing.T) {
+	sys, wb, ctx, region := newBarrierRig(t, 4)
+	if f, _ := sys.Access(ctx, region.Start(), sal.ProtRead); f != nil {
+		t.Fatalf("read under barrier faulted: %v", f.Kind)
+	}
+	if len(wb.DirtyPages()) != 0 {
+		t.Error("read marked a page dirty")
+	}
+}
+
+func TestWriteBarrierPhases(t *testing.T) {
+	sys, wb, ctx, region := newBarrierRig(t, 4)
+	sys.Access(ctx, region.Start(), sal.ProtWrite)
+	if err := wb.ResetPhase(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wb.DirtyPages()) != 0 {
+		t.Error("dirty set survived phase reset")
+	}
+	// The same page faults again in the new phase.
+	before := wb.BarrierFaults
+	sys.Access(ctx, region.Start(), sal.ProtWrite)
+	if wb.BarrierFaults != before+1 {
+		t.Error("page not re-protected by ResetPhase")
+	}
+	if wb.DirtyPages()[0] != 0 {
+		t.Errorf("dirty = %v", wb.DirtyPages())
+	}
+}
+
+func TestWriteBarrierDisarm(t *testing.T) {
+	sys, wb, ctx, region := newBarrierRig(t, 4)
+	if err := wb.Disarm(); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := sys.Access(ctx, region.Start(), sal.ProtWrite); f != nil {
+		t.Fatalf("write after disarm faulted: %v", f.Kind)
+	}
+	if wb.BarrierFaults != 0 {
+		t.Error("disarmed barrier took a fault")
+	}
+}
+
+func TestWriteBarrierCostShape(t *testing.T) {
+	// The barrier's per-phase cost is the Appel2 shape: one batched
+	// protect plus one fault+resolve per written page.
+	sys, wb, ctx, region := newBarrierRig(t, 8)
+	start := sys.Clock.Now()
+	for page := 0; page < 8; page++ {
+		sys.Access(ctx, region.Start()+uint64(page)*sal.PageSize, sal.ProtWrite)
+	}
+	perPage := sys.Clock.Now().Sub(start) / 8
+	// Table 4's Appel2 for SPIN is ~29-36µs/page.
+	if perPage.Micros() < 15 || perPage.Micros() > 60 {
+		t.Errorf("per-page barrier cost = %v, want ≈30µs (Appel2 shape)", perPage)
+	}
+	_ = wb
+}

@@ -1,0 +1,273 @@
+// Package spin is a Go reproduction of the SPIN operating system
+// (Bershad et al., SOSP '95): an extensible kernel in which applications
+// safely extend the system's interface and implementation by dynamically
+// linking type-checked extensions into the kernel, where they interact with
+// core services through events dispatched at procedure-call cost.
+//
+// A Machine is one booted SPIN kernel on simulated Alpha-like hardware: the
+// extension infrastructure (protection domains, in-kernel linker,
+// nameserver, dispatcher, capabilities), the core services (extensible
+// virtual memory, strand scheduling), devices (console, disk, network
+// interfaces), a network protocol stack with in-kernel extension endpoints,
+// and a file system. Time is virtual: every operation charges calibrated
+// primitive costs against the machine's clock, so experiments reproduce the
+// paper's measurements structurally.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper's evaluation.
+package spin
+
+import (
+	"fmt"
+
+	"spin/internal/capability"
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+	"spin/internal/fs"
+	"spin/internal/netstack"
+	"spin/internal/safe"
+	"spin/internal/sal"
+	"spin/internal/sim"
+	"spin/internal/strand"
+	"spin/internal/unixsrv"
+	"spin/internal/vm"
+)
+
+// SyscallEvent is the event the trap handler raises for user-level system
+// calls; SPIN extensions define application-specific system calls by
+// installing guarded handlers on it.
+const SyscallEvent = "Trap.SystemCall"
+
+// Syscall is the argument carried by SyscallEvent.
+type Syscall struct {
+	Name string
+	Arg  any
+}
+
+// Machine is one booted SPIN kernel instance.
+type Machine struct {
+	Name string
+
+	Engine  *sim.Engine
+	Clock   *sim.Clock
+	Profile *sim.Profile
+
+	// Extension infrastructure.
+	Dispatcher *dispatch.Dispatcher
+	Namespace  *domain.Nameserver
+	Heap       *sim.Heap
+
+	// Hardware.
+	IC      *sal.InterruptController
+	MMU     *sal.MMU
+	Phys    *sal.PhysMem
+	Console *sal.Console
+	Disk    *sal.Disk
+
+	// Core services.
+	VM      *vm.System
+	Sched   *strand.Scheduler
+	Threads *strand.ThreadPkg
+
+	// Networking and storage.
+	Stack *netstack.Stack
+	FS    *fs.FileSystem
+
+	// Extern is the externalized-reference table for user applications.
+	Extern *capability.Table
+
+	nics     map[string]*sal.NIC
+	nextVec  sal.InterruptVector
+	public   *domain.T
+	extCount int
+}
+
+// Config tunes machine construction.
+type Config struct {
+	// IP is the machine's network address.
+	IP netstack.IPAddr
+	// MemoryBytes is physical memory size (default 64 MB, the paper's
+	// hardware).
+	MemoryBytes int64
+	// Profile overrides the cost profile (default sim.SPINProfile).
+	Profile *sim.Profile
+	// CacheBlocks sizes the file system buffer cache (default 256).
+	CacheBlocks int
+}
+
+// NewMachine boots a SPIN kernel.
+func NewMachine(name string, cfg Config) (*Machine, error) {
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 64 << 20
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = &sim.SPINProfile
+	}
+	if cfg.CacheBlocks == 0 {
+		cfg.CacheBlocks = 256
+	}
+	eng := sim.NewEngine()
+	m := &Machine{
+		Name:    name,
+		Engine:  eng,
+		Clock:   eng.Clock,
+		Profile: cfg.Profile,
+		nics:    make(map[string]*sal.NIC),
+		nextVec: sal.VecNIC0,
+	}
+	m.Dispatcher = dispatch.New(eng, cfg.Profile)
+	m.Namespace = domain.NewNameserver()
+	m.Heap = sim.NewHeap(m.Clock, cfg.Profile)
+	m.IC = sal.NewInterruptController(eng, cfg.Profile)
+	m.MMU = sal.NewMMU(m.Clock, cfg.Profile)
+	m.Phys = sal.NewPhysMem(cfg.MemoryBytes)
+	m.Console = &sal.Console{}
+	m.Disk = sal.NewDisk(m.Clock)
+
+	var err error
+	m.VM, err = vm.New(eng, cfg.Profile, m.Dispatcher, m.MMU, m.Phys)
+	if err != nil {
+		return nil, fmt.Errorf("spin: boot vm: %w", err)
+	}
+	m.Sched, err = strand.NewScheduler(eng, cfg.Profile, m.Dispatcher)
+	if err != nil {
+		return nil, fmt.Errorf("spin: boot scheduler: %w", err)
+	}
+	m.Threads = strand.NewThreadPkg(m.Sched)
+	m.Stack, err = netstack.NewStack(name, cfg.IP, eng, cfg.Profile, m.Dispatcher)
+	if err != nil {
+		return nil, fmt.Errorf("spin: boot netstack: %w", err)
+	}
+	m.FS = fs.New(m.Disk, m.Clock, cfg.CacheBlocks)
+	m.Extern = capability.NewTable()
+
+	// The system call trap event: the kernel's trap handler raises
+	// Trap.SystemCall, dispatched to handlers installed by extensions.
+	if err := m.Dispatcher.Define(SyscallEvent, dispatch.DefineOptions{}); err != nil {
+		return nil, err
+	}
+
+	if err := m.exportPublicInterfaces(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// exportPublicInterfaces builds the SpinPublic aggregate domain: the
+// system's public interfaces combined into a single domain available to
+// extensions (paper §3.1).
+func (m *Machine) exportPublicInterfaces() error {
+	console, err := domain.CreateFromModule("Console", func(o *safe.ObjectFile) {
+		o.Export("Console.Write", m.Console.Write)
+		o.Export("Console.GetChar", m.Console.GetChar)
+	})
+	if err != nil {
+		return err
+	}
+	vmDom, err := domain.CreateFromModule("VMService", func(o *safe.ObjectFile) {
+		o.Export("PhysAddr.Allocate", m.VM.PhysSvc.Allocate)
+		o.Export("PhysAddr.Deallocate", m.VM.PhysSvc.Deallocate)
+		o.Export("PhysAddr.Reclaim", m.VM.PhysSvc.Reclaim)
+		o.Export("VirtAddr.Allocate", m.VM.VirtSvc.Allocate)
+		o.Export("VirtAddr.Deallocate", m.VM.VirtSvc.Deallocate)
+		o.Export("Translation.Create", m.VM.TransSvc.Create)
+		o.Export("Translation.Destroy", m.VM.TransSvc.Destroy)
+		o.Export("Translation.AddMapping", m.VM.TransSvc.AddMapping)
+		o.Export("Translation.RemoveMapping", m.VM.TransSvc.RemoveMapping)
+		o.Export("Translation.ExamineMapping", m.VM.TransSvc.ExamineMapping)
+	})
+	if err != nil {
+		return err
+	}
+	diskDom, err := domain.CreateFromModule("DiskService", func(o *safe.ObjectFile) {
+		o.Export("Disk.ReadBlock", m.Disk.ReadBlock)
+		o.Export("Disk.WriteBlock", m.Disk.WriteBlock)
+	})
+	if err != nil {
+		return err
+	}
+	m.public = domain.Combine("SpinPublic", console, vmDom, diskDom)
+	if err := m.Namespace.Export("ConsoleService", console, nil); err != nil {
+		return err
+	}
+	if err := m.Namespace.Export("VMService", vmDom, domain.TrustedOnly); err != nil {
+		return err
+	}
+	if err := m.Namespace.Export("DiskService", diskDom, domain.TrustedOnly); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Public returns the SpinPublic aggregate domain.
+func (m *Machine) Public() *domain.T { return m.public }
+
+// LoadExtension dynamically links a safe object file into the kernel: it
+// verifies the object, creates a protection domain for it, and resolves its
+// imports against the system's public interfaces. The returned domain can
+// be further cross-linked against other extensions.
+func (m *Machine) LoadExtension(obj *safe.ObjectFile) (*domain.T, error) {
+	d, err := domain.Create(obj)
+	if err != nil {
+		return nil, err
+	}
+	// In-kernel dynamic linking: resolution patches text and data
+	// symbols so subsequent cross-domain calls run at procedure-call
+	// speed.
+	m.Clock.Advance(sim.Duration(len(obj.Imports())+len(obj.Exports())) * 10 * sim.Microsecond)
+	if err := domain.Resolve(m.public, d); err != nil {
+		return nil, err
+	}
+	m.extCount++
+	return d, nil
+}
+
+// Extensions reports how many extensions have been loaded.
+func (m *Machine) Extensions() int { return m.extCount }
+
+// AddNIC attaches a network interface of the given model and plumbs it into
+// the protocol stack.
+func (m *Machine) AddNIC(model sal.NICModel) *sal.NIC {
+	nic := sal.NewNIC(model, m.Engine, m.IC, m.nextVec)
+	m.nextVec++
+	m.nics[model.Name] = nic
+	m.Stack.Attach(nic)
+	return nic
+}
+
+// Syscall models a user-level application invoking a kernel service: the
+// trap handler raises the Trap.SystemCall event, which is dispatched to a
+// handler installed by an extension. It returns the handler result.
+func (m *Machine) Syscall(name string, arg any) any {
+	m.Clock.Advance(m.Profile.Trap)
+	m.Clock.Advance(m.Profile.SyscallOverhead)
+	res := m.Dispatcher.Raise(SyscallEvent, &Syscall{Name: name, Arg: arg})
+	m.Clock.Advance(m.Profile.Trap)
+	return res
+}
+
+// RegisterSyscall installs an application-specific system call: a guarded
+// handler on the trap event (how SPIN extensions "define application-
+// specific system calls", §5.2).
+func (m *Machine) RegisterSyscall(name string, ident domain.Identity, h func(arg any) any) (dispatch.HandlerRef, error) {
+	return m.Dispatcher.Install(SyscallEvent, func(arg, _ any) any {
+		return h(arg.(*Syscall).Arg)
+	}, dispatch.InstallOptions{
+		Installer: ident,
+		Guard: func(arg any) bool {
+			sc, ok := arg.(*Syscall)
+			return ok && sc.Name == name
+		},
+	})
+}
+
+// Run drains the machine's event queue (single-machine experiments).
+func (m *Machine) Run() { m.Engine.Run(0) }
+
+// NewUnixServer boots the UNIX operating system server (paper §1.2) on this
+// machine: its processes get COW-forked address spaces from the VM
+// extension, kernel threads from the strand package, and file/console I/O
+// from the machine's devices.
+func (m *Machine) NewUnixServer() *unixsrv.Server {
+	return unixsrv.New(m.VM, m.FS, m.Sched, m.Threads, m.Console)
+}
