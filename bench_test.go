@@ -8,9 +8,12 @@ package spin_test
 // cost of running the simulation, not the paper's metric.
 
 import (
+	"fmt"
 	"testing"
 
 	"spin/internal/bench"
+	"spin/internal/dispatch"
+	"spin/internal/sim"
 )
 
 // runExperiment executes one experiment per benchmark iteration and reports
@@ -116,6 +119,68 @@ func BenchmarkDispatcherScaling(b *testing.B) {
 		b.ReportMetric(cell(t, "baseline (no extra handlers)", 0), "rtt-base-µs")
 		b.ReportMetric(cell(t, "+50 guards, all false", 0), "rtt-50false-µs")
 		b.ReportMetric(cell(t, "+50 guards, all true", 0), "rtt-50true-µs")
+	})
+}
+
+// benchmarkDispatchRaiseParallel measures Raise throughput under contention:
+// GOMAXPROCS goroutines raising round-robin across nEvents distinct events,
+// each with a single unguarded primary (the paper's direct-call fast path).
+// With the copy-on-write snapshot dispatcher, raises of unrelated events
+// share no lock, so multi-event throughput should scale with GOMAXPROCS
+// rather than serialize on a dispatcher-wide mutex.
+func benchmarkDispatchRaiseParallel(b *testing.B, nEvents int) {
+	eng := sim.NewEngine()
+	d := dispatch.New(eng, &sim.SPINProfile)
+	names := make([]string, nEvents)
+	for i := range names {
+		names[i] = fmt.Sprintf("Bench.Event%d", i)
+		if err := d.Define(names[i], dispatch.DefineOptions{
+			Primary: func(_, _ any) any { return nil },
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			d.Raise(names[i%nEvents], i)
+			i++
+		}
+	})
+}
+
+func BenchmarkDispatchRaiseParallel1(b *testing.B)  { benchmarkDispatchRaiseParallel(b, 1) }
+func BenchmarkDispatchRaiseParallel8(b *testing.B)  { benchmarkDispatchRaiseParallel(b, 8) }
+func BenchmarkDispatchRaiseParallel64(b *testing.B) { benchmarkDispatchRaiseParallel(b, 64) }
+
+// BenchmarkDispatchRaiseGuarded exercises the slow path (guard walk) under
+// parallel raises of one heavily guarded event.
+func BenchmarkDispatchRaiseGuarded(b *testing.B) {
+	eng := sim.NewEngine()
+	d := dispatch.New(eng, &sim.SPINProfile)
+	if err := d.Define("Bench.Guarded", dispatch.DefineOptions{
+		Primary: func(_, _ any) any { return nil },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		want := i
+		_, err := d.Install("Bench.Guarded", func(_, _ any) any { return nil },
+			dispatch.InstallOptions{Guard: func(arg any) bool { return arg.(int)%8 == want }})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			d.Raise("Bench.Guarded", i)
+			i++
+		}
 	})
 }
 

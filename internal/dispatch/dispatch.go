@@ -14,6 +14,18 @@
 // (one cross-domain call of virtual cost). Otherwise the dispatcher walks
 // the guard/handler pairs, charging per-guard and per-handler costs — the
 // linear behaviour measured in the paper's §5.5 scaling experiment.
+//
+// Concurrency model: the read path (Raise, Stats, introspection) is
+// lock-free. Per-event state is published as an immutable snapshot through
+// an atomic pointer, and the event table itself is a copy-on-write map
+// behind another atomic pointer. Writers (Define, Install, AddGuard,
+// Remove, RemovePrimary) serialize on a single mutex, build a fresh
+// snapshot, and swap it in; raises in flight keep dispatching against the
+// snapshot they loaded. Counters are atomics, so raise/abort/fault totals
+// are exact under parallel raises. Authorizers are consulted while the
+// writer lock is held, making authorization + insertion atomic with respect
+// to concurrent installs — an authorizer must therefore not call back into
+// the dispatcher's write operations.
 package dispatch
 
 import (
@@ -21,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spin/internal/domain"
 	"spin/internal/sim"
@@ -52,7 +65,9 @@ func LastResult(results []any) any {
 // InstallAuthorizer is consulted by the dispatcher when a module other than
 // the default implementation module asks to install a handler. It may deny
 // the installation by returning an error, and may impose an additional guard
-// of its own (e.g. IP's per-protocol-type guards).
+// of its own (e.g. IP's per-protocol-type guards). Authorizers run with the
+// dispatcher's writer lock held and must not call back into Define, Install,
+// AddGuard, Remove or RemovePrimary.
 type InstallAuthorizer func(installer domain.Identity) (Guard, error)
 
 // Constraint expresses the default implementation module's trust in
@@ -79,6 +94,15 @@ var ErrInstallDenied = errors.New("dispatch: installation denied")
 // ErrNoSuchEvent is returned for operations on an undefined event name.
 var ErrNoSuchEvent = errors.New("dispatch: no such event")
 
+// ErrKeyedPrimary is returned by RemovePrimary on an event defined through
+// DefineKeyed: the primary there is the key demultiplexer, and removing it
+// would silently disconnect every keyed handler. Remove keyed handlers
+// individually with KeyedEvent.RemoveKeyed instead.
+var ErrKeyedPrimary = errors.New("dispatch: primary is the keyed demultiplexer")
+
+// handlerEntry is immutable once published in a snapshot. AddGuard replaces
+// the entry (with a freshly copied guard slice) rather than mutating it, so
+// a Raise iterating a snapshot never observes a guard list changing.
 type handlerEntry struct {
 	handler Handler
 	guards  []Guard
@@ -89,15 +113,41 @@ type handlerEntry struct {
 	event   string
 }
 
-type eventState struct {
-	name       string
+// withGuard returns a copy of e with g appended to its guard chain.
+func (e *handlerEntry) withGuard(g Guard) *handlerEntry {
+	ne := *e
+	ne.guards = append(append([]Guard(nil), e.guards...), g)
+	return &ne
+}
+
+// eventSnapshot is the immutable per-event state the read path dispatches
+// against. Writers build a new snapshot and publish it atomically.
+type eventSnapshot struct {
 	authorizer InstallAuthorizer
 	constraint Constraint
 	combiner   Combiner
 	handlers   []*handlerEntry
-	nextID     int
-	raises     int64
-	aborts     int64
+	// keyed marks events defined via DefineKeyed, whose primary is the
+	// key-demultiplexing trampoline (see ErrKeyedPrimary).
+	keyed bool
+}
+
+// clone returns a shallow copy of s with its own handler slice, ready for a
+// writer to edit before publishing.
+func (s *eventSnapshot) clone() *eventSnapshot {
+	ns := *s
+	ns.handlers = append([]*handlerEntry(nil), s.handlers...)
+	return &ns
+}
+
+// eventState is the stable identity of a defined event: the atomically
+// published snapshot plus counters. nextID is guarded by Dispatcher.mu.
+type eventState struct {
+	name   string
+	snap   atomic.Pointer[eventSnapshot]
+	raises atomic.Int64
+	aborts atomic.Int64
+	nextID int
 }
 
 // Dispatcher routes event raises to handlers. One dispatcher serves one
@@ -107,23 +157,38 @@ type Dispatcher struct {
 	profile *sim.Profile
 	engine  *sim.Engine
 
-	mu     sync.Mutex
-	events map[string]*eventState
+	// mu serializes writers (Define/Install/AddGuard/Remove/RemovePrimary).
+	// The read path never takes it.
+	mu sync.Mutex
+	// events is the copy-on-write event table: Define copies the map,
+	// inserts, and swaps the pointer. eventState values are never removed
+	// or replaced, so a loaded *eventState stays valid forever.
+	events atomic.Pointer[map[string]*eventState]
+
 	// faults counts handler runtime exceptions contained at the dispatch
-	// boundary; lastFault describes the most recent.
-	faults    int64
+	// boundary; lastFault (guarded by faultMu) describes the most recent.
+	faults    atomic.Int64
+	faultMu   sync.Mutex
 	lastFault string
 }
 
 // New returns a dispatcher charging costs from profile against the engine's
 // clock. Async handlers are scheduled on the engine.
 func New(engine *sim.Engine, profile *sim.Profile) *Dispatcher {
-	return &Dispatcher{
+	d := &Dispatcher{
 		clock:   engine.Clock,
 		profile: profile,
 		engine:  engine,
-		events:  make(map[string]*eventState),
 	}
+	empty := make(map[string]*eventState)
+	d.events.Store(&empty)
+	return d
+}
+
+// lookup finds an event without locking. Safe from any goroutine.
+func (d *Dispatcher) lookup(name string) (*eventState, bool) {
+	st, ok := (*d.events.Load())[name]
+	return st, ok
 }
 
 // DefineOptions configures an event at definition time.
@@ -139,6 +204,10 @@ type DefineOptions struct {
 	Constraint Constraint
 	// Combiner folds multiple results; nil means LastResult.
 	Combiner Combiner
+
+	// keyedDemux is set by DefineKeyed: the primary is the key index
+	// trampoline and must not be removable via RemovePrimary.
+	keyedDemux bool
 }
 
 // Define declares an event. The caller is, by definition, the default
@@ -146,20 +215,22 @@ type DefineOptions struct {
 func (d *Dispatcher) Define(name string, opts DefineOptions) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, dup := d.events[name]; dup {
+	old := *d.events.Load()
+	if _, dup := old[name]; dup {
 		return fmt.Errorf("dispatch: event %q already defined", name)
 	}
-	st := &eventState{
-		name:       name,
+	snap := &eventSnapshot{
 		authorizer: opts.Authorizer,
 		constraint: opts.Constraint,
 		combiner:   opts.Combiner,
+		keyed:      opts.keyedDemux,
 	}
-	if st.combiner == nil {
-		st.combiner = LastResult
+	if snap.combiner == nil {
+		snap.combiner = LastResult
 	}
+	st := &eventState{name: name}
 	if opts.Primary != nil {
-		st.handlers = append(st.handlers, &handlerEntry{
+		snap.handlers = append(snap.handlers, &handlerEntry{
 			handler: opts.Primary,
 			closure: opts.PrimaryClosure,
 			primary: true,
@@ -168,7 +239,13 @@ func (d *Dispatcher) Define(name string, opts DefineOptions) error {
 		})
 		st.nextID++
 	}
-	d.events[name] = st
+	st.snap.Store(snap)
+	next := make(map[string]*eventState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = st
+	d.events.Store(&next)
 	return nil
 }
 
@@ -191,20 +268,23 @@ type HandlerRef struct {
 
 // Install registers a handler on the named event after consulting the
 // event's authorizer. The authorizer's guard (if any) is evaluated before
-// the installer's own guard.
+// the installer's own guard. The authorizer consultation and the insertion
+// are one atomic step with respect to concurrent installs: two racing
+// installs cannot interleave authorizer guards with the wrong entry.
 func (d *Dispatcher) Install(event string, h Handler, opts InstallOptions) (HandlerRef, error) {
 	if h == nil {
 		return HandlerRef{}, errors.New("dispatch: nil handler")
 	}
 	d.mu.Lock()
-	st, ok := d.events[event]
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	st, ok := d.lookup(event)
 	if !ok {
 		return HandlerRef{}, fmt.Errorf("%w: %q", ErrNoSuchEvent, event)
 	}
+	snap := st.snap.Load()
 	var guards []Guard
-	if st.authorizer != nil {
-		g, err := st.authorizer(opts.Installer)
+	if snap.authorizer != nil {
+		g, err := snap.authorizer(opts.Installer)
 		if err != nil {
 			return HandlerRef{}, fmt.Errorf("%w: %q: %v", ErrInstallDenied, event, err)
 		}
@@ -215,8 +295,6 @@ func (d *Dispatcher) Install(event string, h Handler, opts InstallOptions) (Hand
 	if opts.Guard != nil {
 		guards = append(guards, opts.Guard)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	e := &handlerEntry{
 		handler: h,
 		guards:  guards,
@@ -226,26 +304,32 @@ func (d *Dispatcher) Install(event string, h Handler, opts InstallOptions) (Hand
 		event:   event,
 	}
 	st.nextID++
-	st.handlers = append(st.handlers, e)
+	ns := snap.clone()
+	ns.handlers = append(ns.handlers, e)
+	st.snap.Store(ns)
 	return HandlerRef{event: event, id: e.id}, nil
 }
 
 // AddGuard stacks an additional guard on an installed handler, further
 // constraining its invocation (paper: "A handler can stack additional guards
-// on an event").
+// on an event"). The handler entry is replaced, not mutated, so concurrent
+// raises never observe a half-updated guard chain.
 func (d *Dispatcher) AddGuard(ref HandlerRef, g Guard) error {
 	if g == nil {
 		return errors.New("dispatch: nil guard")
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	st, ok := d.events[ref.event]
+	st, ok := d.lookup(ref.event)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchEvent, ref.event)
 	}
-	for _, e := range st.handlers {
+	snap := st.snap.Load()
+	for i, e := range snap.handlers {
 		if e.id == ref.id {
-			e.guards = append(e.guards, g)
+			ns := snap.clone()
+			ns.handlers[i] = e.withGuard(g)
+			st.snap.Store(ns)
 			return nil
 		}
 	}
@@ -256,13 +340,16 @@ func (d *Dispatcher) AddGuard(ref HandlerRef, g Guard) error {
 func (d *Dispatcher) Remove(ref HandlerRef) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	st, ok := d.events[ref.event]
+	st, ok := d.lookup(ref.event)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchEvent, ref.event)
 	}
-	for i, e := range st.handlers {
+	snap := st.snap.Load()
+	for i, e := range snap.handlers {
 		if e.id == ref.id {
-			st.handlers = append(st.handlers[:i], st.handlers[i+1:]...)
+			ns := snap.clone()
+			ns.handlers = append(ns.handlers[:i:i], ns.handlers[i+1:]...)
+			st.snap.Store(ns)
 			return nil
 		}
 	}
@@ -271,24 +358,30 @@ func (d *Dispatcher) Remove(ref HandlerRef) error {
 
 // RemovePrimary removes the event's primary handler — permitted by the
 // model ("Other modules may request that the dispatcher ... even remove the
-// primary handler"), subject to the same authorizer.
+// primary handler"), subject to the same authorizer. For events defined via
+// DefineKeyed it fails with ErrKeyedPrimary: the primary there is the key
+// demultiplexer, and removing it would silently orphan every keyed handler.
 func (d *Dispatcher) RemovePrimary(event string, requester domain.Identity) error {
 	d.mu.Lock()
-	st, ok := d.events[event]
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	st, ok := d.lookup(event)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchEvent, event)
 	}
-	if st.authorizer != nil {
-		if _, err := st.authorizer(requester); err != nil {
+	snap := st.snap.Load()
+	if snap.keyed {
+		return fmt.Errorf("%w: %q", ErrKeyedPrimary, event)
+	}
+	if snap.authorizer != nil {
+		if _, err := snap.authorizer(requester); err != nil {
 			return fmt.Errorf("%w: %q: %v", ErrInstallDenied, event, err)
 		}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for i, e := range st.handlers {
+	for i, e := range snap.handlers {
 		if e.primary {
-			st.handlers = append(st.handlers[:i], st.handlers[i+1:]...)
+			ns := snap.clone()
+			ns.handlers = append(ns.handlers[:i:i], ns.handlers[i+1:]...)
+			st.snap.Store(ns)
 			return nil
 		}
 	}
@@ -298,32 +391,37 @@ func (d *Dispatcher) RemovePrimary(event string, requester domain.Identity) erro
 // Raise dispatches the event synchronously and returns the combined result.
 // Raising an undefined event returns nil (announcements into the void are
 // legal; the raiser cannot distinguish "no event" from "no handlers").
+//
+// Raise acquires no locks: it loads the event table and the event's
+// snapshot through atomic pointers and dispatches against that immutable
+// view. Raises of unrelated events proceed fully in parallel; a raise
+// concurrent with an install sees either the old or the new handler list,
+// never a torn one. Events with Async constraints schedule handlers on the
+// simulation engine, which is single-threaded — raise those only from the
+// simulation goroutine.
 func (d *Dispatcher) Raise(event string, arg any) any {
-	d.mu.Lock()
-	st, ok := d.events[event]
+	st, ok := d.lookup(event)
 	if !ok {
-		d.mu.Unlock()
 		return nil
 	}
-	st.raises++
+	st.raises.Add(1)
+	snap := st.snap.Load()
 	// Fast path: exactly one unguarded synchronous handler — direct
 	// procedure call from raiser to handler (still within the runtime's
-	// exception containment).
-	if len(st.handlers) == 1 && len(st.handlers[0].guards) == 0 && !st.constraint.Async {
-		e := st.handlers[0]
-		d.mu.Unlock()
+	// exception containment and the event's time bound).
+	if len(snap.handlers) == 1 && len(snap.handlers[0].guards) == 0 && !snap.constraint.Async {
+		e := snap.handlers[0]
 		d.clock.Advance(d.profile.CrossDomainCall)
-		res, _ := d.invokeBounded(0, e, arg)
+		res, aborted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		if aborted {
+			st.aborts.Add(1)
+			return nil
+		}
 		return res
 	}
-	handlers := make([]*handlerEntry, len(st.handlers))
-	copy(handlers, st.handlers)
-	constraint := st.constraint
-	combiner := st.combiner
-	d.mu.Unlock()
 
 	var results []any
-	for _, e := range handlers {
+	for _, e := range snap.handlers {
 		pass := true
 		for _, g := range e.guards {
 			d.clock.Advance(d.profile.GuardEval)
@@ -335,39 +433,28 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 		if !pass {
 			continue
 		}
-		if constraint.Async && !e.primary {
+		if snap.constraint.Async && !e.primary {
 			// Separate thread from the raiser: schedule on the
 			// engine; result is not communicated back.
 			e := e
+			bound := snap.constraint.TimeBound
 			d.clock.Advance(d.profile.HandlerInvoke)
 			d.engine.After(0, func() {
-				d.runBounded(st, e, arg)
+				if _, aborted := d.invokeBounded(bound, e, arg); aborted {
+					st.aborts.Add(1)
+				}
 			})
 			continue
 		}
 		d.clock.Advance(d.profile.HandlerInvoke)
-		res, aborted := d.invokeBounded(constraint.TimeBound, e, arg)
+		res, aborted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
 		if aborted {
-			d.mu.Lock()
-			st.aborts++
-			d.mu.Unlock()
+			st.aborts.Add(1)
 			continue
 		}
 		results = append(results, res)
 	}
-	return combiner(results)
-}
-
-// runBounded executes an async handler under the event's time bound.
-func (d *Dispatcher) runBounded(st *eventState, e *handlerEntry, arg any) {
-	d.mu.Lock()
-	bound := st.constraint.TimeBound
-	d.mu.Unlock()
-	if _, aborted := d.invokeBounded(bound, e, arg); aborted {
-		d.mu.Lock()
-		st.aborts++
-		d.mu.Unlock()
-	}
+	return snap.combiner(results)
 }
 
 // invokeBounded runs the handler, enforcing the virtual-time bound: if the
@@ -386,10 +473,10 @@ func (d *Dispatcher) runBounded(st *eventState, e *handlerEntry, arg any) {
 func (d *Dispatcher) invokeBounded(bound sim.Duration, e *handlerEntry, arg any) (res any, aborted bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			d.mu.Lock()
-			d.faults++
+			d.faults.Add(1)
+			d.faultMu.Lock()
 			d.lastFault = fmt.Sprintf("handler of %q (installer %q): %v", e.event, e.owner.Name, r)
-			d.mu.Unlock()
+			d.faultMu.Unlock()
 			res, aborted = nil, true
 		}
 	}()
@@ -407,28 +494,26 @@ func (d *Dispatcher) invokeBounded(bound sim.Duration, e *handlerEntry, arg any)
 // ExtensionFaults reports how many handler runtime exceptions the dispatcher
 // has contained, and the most recent one's description.
 func (d *Dispatcher) ExtensionFaults() (int64, string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.faults, d.lastFault
+	d.faultMu.Lock()
+	last := d.lastFault
+	d.faultMu.Unlock()
+	return d.faults.Load(), last
 }
 
 // HandlerCount reports the number of handlers installed on event (including
 // the primary).
 func (d *Dispatcher) HandlerCount(event string) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if st, ok := d.events[event]; ok {
-		return len(st.handlers)
+	if st, ok := d.lookup(event); ok {
+		return len(st.snap.Load().handlers)
 	}
 	return 0
 }
 
-// Stats reports raise and abort counts for event.
+// Stats reports raise and abort counts for event. Counters are atomics;
+// totals are exact even under parallel raises.
 func (d *Dispatcher) Stats(event string) (raises, aborts int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if st, ok := d.events[event]; ok {
-		return st.raises, st.aborts
+	if st, ok := d.lookup(event); ok {
+		return st.raises.Load(), st.aborts.Load()
 	}
 	return 0, 0
 }
@@ -436,10 +521,9 @@ func (d *Dispatcher) Stats(event string) (raises, aborts int64) {
 // Events lists the defined event names, sorted. Used by the Figure 5
 // protocol-graph dump.
 func (d *Dispatcher) Events() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]string, 0, len(d.events))
-	for n := range d.events {
+	m := *d.events.Load()
+	out := make([]string, 0, len(m))
+	for n := range m {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -447,16 +531,16 @@ func (d *Dispatcher) Events() []string {
 }
 
 // HandlerOwners reports the identities of the handlers installed on event in
-// installation order ("" for the primary). Used by the Figure 5 graph dump.
+// installation order ("(primary)" for the primary). Used by the Figure 5
+// graph dump.
 func (d *Dispatcher) HandlerOwners(event string) []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st, ok := d.events[event]
+	st, ok := d.lookup(event)
 	if !ok {
 		return nil
 	}
-	out := make([]string, 0, len(st.handlers))
-	for _, e := range st.handlers {
+	snap := st.snap.Load()
+	out := make([]string, 0, len(snap.handlers))
+	for _, e := range snap.handlers {
 		if e.primary {
 			out = append(out, "(primary)")
 		} else {

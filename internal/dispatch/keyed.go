@@ -3,6 +3,7 @@ package dispatch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Keyed guard optimization — the paper's stated future work (§5.5:
@@ -17,6 +18,10 @@ import (
 // raise hashes directly to the matching handlers instead of evaluating
 // every installed guard — dispatch cost becomes independent of the number
 // of installed handlers.
+//
+// Like the dispatcher proper, the key index is copy-on-write: raises load
+// the whole map through an atomic pointer and never lock; InstallKeyed and
+// RemoveKeyed rebuild the map under a writer mutex and swap it in.
 
 // KeyFunc extracts the demultiplexing key from an event argument.
 type KeyFunc func(arg any) (key uint64, ok bool)
@@ -25,14 +30,17 @@ type KeyFunc func(arg any) (key uint64, ok bool)
 // regular dispatcher event: unkeyed handlers (and the primary) still work;
 // keyed handlers bypass guard evaluation.
 type KeyedEvent struct {
-	d       *Dispatcher
-	name    string
-	keyOf   KeyFunc
+	d     *Dispatcher
+	name  string
+	keyOf KeyFunc
+
+	// mu serializes writers; nextID is guarded by it. The read path loads
+	// byKey without locking; published maps and entry slices are immutable.
 	mu      sync.Mutex
-	byKey   map[uint64][]*keyedEntry
+	byKey   atomic.Pointer[map[uint64][]*keyedEntry]
 	nextID  int
-	raises  int64
-	indexed int64
+	raises  atomic.Int64
+	indexed atomic.Int64
 }
 
 type keyedEntry struct {
@@ -44,7 +52,9 @@ type keyedEntry struct {
 // DefineKeyed declares an event whose handlers demultiplex on a key. The
 // event is defined on the underlying dispatcher with a primary handler that
 // consults the key index — so raising it through Dispatcher.Raise works,
-// and unkeyed handlers may still be installed alongside.
+// and unkeyed handlers may still be installed alongside. Because that
+// primary *is* the demultiplexer, RemovePrimary on a keyed event fails with
+// ErrKeyedPrimary rather than silently orphaning the index.
 func (d *Dispatcher) DefineKeyed(name string, keyOf KeyFunc, opts DefineOptions) (*KeyedEvent, error) {
 	if keyOf == nil {
 		return nil, fmt.Errorf("dispatch: DefineKeyed(%q): nil key function", name)
@@ -53,8 +63,9 @@ func (d *Dispatcher) DefineKeyed(name string, keyOf KeyFunc, opts DefineOptions)
 		d:     d,
 		name:  name,
 		keyOf: keyOf,
-		byKey: make(map[uint64][]*keyedEntry),
 	}
+	empty := make(map[uint64][]*keyedEntry)
+	ke.byKey.Store(&empty)
 	userPrimary := opts.Primary
 	userClosure := opts.PrimaryClosure
 	opts.Primary = func(arg, _ any) any {
@@ -62,18 +73,14 @@ func (d *Dispatcher) DefineKeyed(name string, keyOf KeyFunc, opts DefineOptions)
 		ke.d.clock.Advance(ke.d.profile.GuardEval) // the single key extraction
 		var results []any
 		if key, ok := ke.keyOf(arg); ok {
-			ke.mu.Lock()
-			entries := append([]*keyedEntry(nil), ke.byKey[key]...)
-			ke.indexed++
-			ke.mu.Unlock()
+			entries := (*ke.byKey.Load())[key]
+			ke.indexed.Add(1)
 			for _, e := range entries {
 				ke.d.clock.Advance(ke.d.profile.HandlerInvoke)
 				results = append(results, e.h(arg, e.closure))
 			}
 		}
-		ke.mu.Lock()
-		ke.raises++
-		ke.mu.Unlock()
+		ke.raises.Add(1)
 		if userPrimary != nil {
 			results = append(results, userPrimary(arg, userClosure))
 		}
@@ -87,6 +94,7 @@ func (d *Dispatcher) DefineKeyed(name string, keyOf KeyFunc, opts DefineOptions)
 		return comb(results)
 	}
 	opts.PrimaryClosure = nil
+	opts.keyedDemux = true
 	if err := d.Define(name, opts); err != nil {
 		return nil, err
 	}
@@ -99,6 +107,18 @@ type KeyedRef struct {
 	id  int
 }
 
+// cloneIndex copies the published key index so a writer can edit it. The
+// entry slices are shared except for the key being edited, which callers
+// must replace wholesale.
+func (ke *KeyedEvent) cloneIndex() map[uint64][]*keyedEntry {
+	old := *ke.byKey.Load()
+	next := make(map[uint64][]*keyedEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	return next
+}
+
 // InstallKeyed registers h for events whose key equals key.
 func (ke *KeyedEvent) InstallKeyed(key uint64, h Handler, closure any) (KeyedRef, error) {
 	if h == nil {
@@ -108,7 +128,9 @@ func (ke *KeyedEvent) InstallKeyed(key uint64, h Handler, closure any) (KeyedRef
 	defer ke.mu.Unlock()
 	e := &keyedEntry{h: h, closure: closure, id: ke.nextID}
 	ke.nextID++
-	ke.byKey[key] = append(ke.byKey[key], e)
+	next := ke.cloneIndex()
+	next[key] = append(append([]*keyedEntry(nil), next[key]...), e)
+	ke.byKey.Store(&next)
 	return KeyedRef{key: key, id: e.id}, nil
 }
 
@@ -116,29 +138,30 @@ func (ke *KeyedEvent) InstallKeyed(key uint64, h Handler, closure any) (KeyedRef
 func (ke *KeyedEvent) RemoveKeyed(ref KeyedRef) error {
 	ke.mu.Lock()
 	defer ke.mu.Unlock()
-	list := ke.byKey[ref.key]
+	list := (*ke.byKey.Load())[ref.key]
 	for i, e := range list {
 		if e.id == ref.id {
-			ke.byKey[ref.key] = append(list[:i], list[i+1:]...)
-			if len(ke.byKey[ref.key]) == 0 {
-				delete(ke.byKey, ref.key)
+			next := ke.cloneIndex()
+			trimmed := append(append([]*keyedEntry(nil), list[:i]...), list[i+1:]...)
+			if len(trimmed) == 0 {
+				delete(next, ref.key)
+			} else {
+				next[ref.key] = trimmed
 			}
+			ke.byKey.Store(&next)
 			return nil
 		}
 	}
 	return fmt.Errorf("dispatch: keyed handler %d not installed on %q", ref.id, ke.name)
 }
 
-// Stats reports raises and index hits.
+// Stats reports raises and index hits. Counters are atomics; totals are
+// exact under parallel raises.
 func (ke *KeyedEvent) Stats() (raises, indexed int64) {
-	ke.mu.Lock()
-	defer ke.mu.Unlock()
-	return ke.raises, ke.indexed
+	return ke.raises.Load(), ke.indexed.Load()
 }
 
 // Keys reports how many distinct keys have handlers.
 func (ke *KeyedEvent) Keys() int {
-	ke.mu.Lock()
-	defer ke.mu.Unlock()
-	return len(ke.byKey)
+	return len(*ke.byKey.Load())
 }

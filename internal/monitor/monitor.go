@@ -10,36 +10,83 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"spin/internal/dispatch"
 	"spin/internal/domain"
 	"spin/internal/sim"
 )
 
-// Counter is the per-event accumulator.
+// Counter is the per-event accumulator. Its handler runs inside the
+// dispatcher's lock-free Raise path, which may execute from many goroutines
+// at once, so the accumulator synchronizes internally; readers get a
+// consistent view through the accessor methods.
 type Counter struct {
-	// Count is the number of raises observed.
-	Count int64
-	// FirstAt/LastAt bracket the observation window.
-	FirstAt, LastAt sim.Time
-	// minGap/maxGap track inter-arrival extremes.
-	minGap, maxGap sim.Duration
+	mu      sync.Mutex
+	count   int64
+	firstAt sim.Time
+	lastAt  sim.Time
+	minGap  sim.Duration
+	maxGap  sim.Duration
+}
+
+// observe records one raise at virtual time now.
+func (c *Counter) observe(now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.count == 0 {
+		c.firstAt = now
+	} else {
+		gap := now.Sub(c.lastAt)
+		if c.minGap == 0 || gap < c.minGap {
+			c.minGap = gap
+		}
+		if gap > c.maxGap {
+			c.maxGap = gap
+		}
+	}
+	c.lastAt = now
+	c.count++
+}
+
+// Count returns the number of raises observed.
+func (c *Counter) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Window returns the first and last observation times.
+func (c *Counter) Window() (first, last sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstAt, c.lastAt
 }
 
 // MinGap returns the smallest observed inter-arrival time (0 until two
 // events have been seen).
-func (c *Counter) MinGap() sim.Duration { return c.minGap }
+func (c *Counter) MinGap() sim.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.minGap
+}
 
 // MaxGap returns the largest observed inter-arrival time.
-func (c *Counter) MaxGap() sim.Duration { return c.maxGap }
+func (c *Counter) MaxGap() sim.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxGap
+}
 
 // Rate returns events per virtual second over the observation window.
 func (c *Counter) Rate() float64 {
-	window := c.LastAt.Sub(c.FirstAt)
-	if window <= 0 || c.Count < 2 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	window := c.lastAt.Sub(c.firstAt)
+	if window <= 0 || c.count < 2 {
 		return 0
 	}
-	return float64(c.Count-1) / (float64(window) / float64(sim.Second))
+	return float64(c.count-1) / (float64(window) / float64(sim.Second))
 }
 
 // Monitor passively observes events through the dispatcher.
@@ -48,6 +95,7 @@ type Monitor struct {
 	clock *sim.Clock
 	ident domain.Identity
 
+	mu       sync.Mutex
 	counters map[string]*Counter
 	refs     []dispatch.HandlerRef
 }
@@ -65,65 +113,70 @@ func New(disp *dispatch.Dispatcher, clock *sim.Clock, ident domain.Identity) *Mo
 // Watch installs an observe-only handler on event. The handler returns nil,
 // so combiners that fold claims or results ignore it entirely.
 func (m *Monitor) Watch(event string) error {
+	m.mu.Lock()
 	if _, dup := m.counters[event]; dup {
+		m.mu.Unlock()
 		return fmt.Errorf("monitor: already watching %q", event)
 	}
 	c := &Counter{}
 	m.counters[event] = c
+	m.mu.Unlock()
 	ref, err := m.disp.Install(event, func(_, _ any) any {
-		now := m.clock.Now()
-		if c.Count == 0 {
-			c.FirstAt = now
-		} else {
-			gap := now.Sub(c.LastAt)
-			if c.minGap == 0 || gap < c.minGap {
-				c.minGap = gap
-			}
-			if gap > c.maxGap {
-				c.maxGap = gap
-			}
-		}
-		c.LastAt = now
-		c.Count++
+		c.observe(m.clock.Now())
 		return nil
 	}, dispatch.InstallOptions{Installer: m.ident})
 	if err != nil {
+		m.mu.Lock()
 		delete(m.counters, event)
+		m.mu.Unlock()
 		return err
 	}
+	m.mu.Lock()
 	m.refs = append(m.refs, ref)
+	m.mu.Unlock()
 	return nil
 }
 
 // Counter returns the accumulator for event, if watched.
 func (m *Monitor) Counter(event string) (*Counter, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	c, ok := m.counters[event]
 	return c, ok
 }
 
 // Snapshot returns event -> count for all watched events.
 func (m *Monitor) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[string]int64, len(m.counters))
 	for ev, c := range m.counters {
-		out[ev] = c.Count
+		out[ev] = c.Count()
 	}
 	return out
 }
 
 // Report renders the up-to-date performance information as text.
 func (m *Monitor) Report() string {
-	var names []string
+	m.mu.Lock()
+	names := make([]string, 0, len(m.counters))
 	for ev := range m.counters {
 		names = append(names, ev)
 	}
+	counters := make(map[string]*Counter, len(names))
+	for _, ev := range names {
+		counters[ev] = m.counters[ev]
+	}
+	m.mu.Unlock()
 	sort.Strings(names)
 	var b strings.Builder
 	fmt.Fprintf(&b, "monitor report at t=%v\n", m.clock.Now())
 	for _, ev := range names {
-		c := m.counters[ev]
-		fmt.Fprintf(&b, "  %-28s count=%-8d rate=%8.1f/s", ev, c.Count, c.Rate())
-		if c.Count >= 2 {
-			fmt.Fprintf(&b, " gap=[%v, %v]", c.minGap, c.maxGap)
+		c := counters[ev]
+		n := c.Count()
+		fmt.Fprintf(&b, "  %-28s count=%-8d rate=%8.1f/s", ev, n, c.Rate())
+		if n >= 2 {
+			fmt.Fprintf(&b, " gap=[%v, %v]", c.MinGap(), c.MaxGap())
 		}
 		fmt.Fprintln(&b)
 	}
@@ -132,8 +185,11 @@ func (m *Monitor) Report() string {
 
 // Detach removes all the monitor's handlers.
 func (m *Monitor) Detach() {
-	for _, r := range m.refs {
+	m.mu.Lock()
+	refs := m.refs
+	m.refs = nil
+	m.mu.Unlock()
+	for _, r := range refs {
 		_ = m.disp.Remove(r)
 	}
-	m.refs = nil
 }

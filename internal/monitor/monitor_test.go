@@ -27,7 +27,7 @@ func TestWatchCounts(t *testing.T) {
 		disp.Raise("E", nil)
 	}
 	c, ok := m.Counter("E")
-	if !ok || c.Count != 5 {
+	if !ok || c.Count() != 5 {
 		t.Errorf("count = %v", c)
 	}
 	if m.Snapshot()["E"] != 5 {
@@ -52,8 +52,8 @@ func TestObserveOnlyDoesNotPerturbResult(t *testing.T) {
 	ran := disp.Raise("E", nil)
 	_ = ran
 	c, _ := m.Counter("E")
-	if c.Count != 1 {
-		t.Errorf("count = %d", c.Count)
+	if c.Count() != 1 {
+		t.Errorf("count = %d", c.Count())
 	}
 }
 
@@ -71,8 +71,8 @@ func TestInterArrivalStats(t *testing.T) {
 	}
 	eng.Run(0)
 	c, _ := m.Counter("Tick")
-	if c.Count != 4 {
-		t.Fatalf("count = %d", c.Count)
+	if c.Count() != 4 {
+		t.Fatalf("count = %d", c.Count())
 	}
 	tol := 2 * sim.Microsecond
 	if got := c.MinGap(); got < 100*sim.Microsecond-tol || got > 100*sim.Microsecond+tol {
@@ -116,8 +116,8 @@ func TestDetach(t *testing.T) {
 	m.Detach()
 	disp.Raise("E", nil)
 	c, _ := m.Counter("E")
-	if c.Count != 1 {
-		t.Errorf("count after detach = %d", c.Count)
+	if c.Count() != 1 {
+		t.Errorf("count after detach = %d", c.Count())
 	}
 }
 
@@ -138,7 +138,8 @@ func TestReport(t *testing.T) {
 }
 
 func TestRateZeroCases(t *testing.T) {
-	c := &Counter{Count: 1}
+	c := &Counter{}
+	c.observe(0)
 	if c.Rate() != 0 {
 		t.Error("rate with one sample should be 0")
 	}

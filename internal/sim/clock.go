@@ -10,7 +10,10 @@
 // from hard-coded answers.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Time is virtual time in nanoseconds since boot.
 type Time int64
@@ -55,16 +58,25 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // "busy" time separately from total elapsed time so that experiments such as
 // Figure 6 can report CPU utilization: Advance accrues busy time, while
 // Sleep (idle waiting, e.g. for a wire) does not.
+//
+// The clock is safe for concurrent use: the dispatcher's lock-free Raise
+// path charges costs from many goroutines at once (the parallel dispatch
+// benchmarks and race tests), so both accumulators are atomics and never
+// guarded by a lock. Concurrent advances commute — total elapsed and busy
+// time are exact regardless of interleaving. AdvanceTo and ResetBusy are
+// meant for the single-threaded simulation engine; calling them concurrently
+// with Advance is safe but their read-modify sequences are not atomic as a
+// unit.
 type Clock struct {
-	now  Time
-	busy Duration
+	now  atomic.Int64 // Time
+	busy atomic.Int64 // Duration
 }
 
 // NewClock returns a clock at time zero.
 func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
 
 // Advance moves the clock forward by d and accounts it as busy (CPU) time.
 // Negative durations are ignored.
@@ -72,8 +84,8 @@ func (c *Clock) Advance(d Duration) {
 	if d <= 0 {
 		return
 	}
-	c.now = c.now.Add(d)
-	c.busy += d
+	c.now.Add(int64(d))
+	c.busy.Add(int64(d))
 }
 
 // Sleep moves the clock forward by d without accruing busy time. It models
@@ -83,30 +95,36 @@ func (c *Clock) Sleep(d Duration) {
 	if d <= 0 {
 		return
 	}
-	c.now = c.now.Add(d)
+	c.now.Add(int64(d))
 }
 
 // AdvanceTo moves the clock to t if t is in the future, as idle time.
 func (c *Clock) AdvanceTo(t Time) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
 	}
 }
 
 // Busy returns accumulated busy (CPU) time.
-func (c *Clock) Busy() Duration { return c.busy }
+func (c *Clock) Busy() Duration { return Duration(c.busy.Load()) }
 
 // ResetBusy clears the busy-time accumulator, for utilization measurements
 // over a window.
-func (c *Clock) ResetBusy() { c.busy = 0 }
+func (c *Clock) ResetBusy() { c.busy.Store(0) }
 
 // Utilization reports busy time as a fraction of the window since 'start'.
 func (c *Clock) Utilization(start Time) float64 {
-	window := c.now.Sub(start)
+	window := c.Now().Sub(start)
 	if window <= 0 {
 		return 0
 	}
-	u := float64(c.busy) / float64(window)
+	u := float64(c.Busy()) / float64(window)
 	if u > 1 {
 		u = 1
 	}
