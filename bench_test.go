@@ -14,6 +14,7 @@ import (
 	"spin/internal/bench"
 	"spin/internal/dispatch"
 	"spin/internal/sim"
+	"spin/internal/trace"
 )
 
 // runExperiment executes one experiment per benchmark iteration and reports
@@ -154,6 +155,30 @@ func benchmarkDispatchRaiseParallel(b *testing.B, nEvents int) {
 func BenchmarkDispatchRaiseParallel1(b *testing.B)  { benchmarkDispatchRaiseParallel(b, 1) }
 func BenchmarkDispatchRaiseParallel8(b *testing.B)  { benchmarkDispatchRaiseParallel(b, 8) }
 func BenchmarkDispatchRaiseParallel64(b *testing.B) { benchmarkDispatchRaiseParallel(b, 64) }
+
+// BenchmarkDispatchRaiseTraced measures the fast path with tracing ENABLED:
+// each raise publishes a ring record and feeds two histograms. Compare
+// against BenchmarkDispatchRaiseParallel1 (tracing disabled — the nil-load
+// path) for the per-raise tracing overhead; ARCHITECTURE.md cites both.
+func BenchmarkDispatchRaiseTraced(b *testing.B) {
+	eng := sim.NewEngine()
+	d := dispatch.New(eng, &sim.SPINProfile)
+	if err := d.Define("Bench.Traced", dispatch.DefineOptions{
+		Primary: func(_, _ any) any { return nil },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	d.SetTracer(trace.New(4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			d.Raise("Bench.Traced", i)
+			i++
+		}
+	})
+}
 
 // BenchmarkDispatchRaiseGuarded exercises the slow path (guard walk) under
 // parallel raises of one heavily guarded event.

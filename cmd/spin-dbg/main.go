@@ -26,7 +26,8 @@ func main() {
 	flag.Parse()
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
-			"stats TCP.PktArrived", "perf", "tlb", "mem", "frame 300", "uptime"}
+			"stats TCP.PktArrived", "perf", "trace", "histo", "tlb", "mem",
+			"frame 300", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)
@@ -65,6 +66,9 @@ func run(cmds []string) error {
 			return err
 		}
 	}
+	// Kernel-wide tracing feeds the "trace" (dispatch ring) and "histo"
+	// (latency histogram) commands.
+	tracer := target.EnableTracing(256)
 	if _, err := netdbg.New(target.Stack, netdbg.DefaultPort, netdbg.Target{
 		Dispatcher: target.Dispatcher,
 		Phys:       target.Phys,
@@ -73,7 +77,9 @@ func run(cmds []string) error {
 			"uptime": func(string) string {
 				return fmt.Sprintf("uptime: %v of virtual time", target.Clock.Now().Sub(0))
 			},
-			"perf": func(string) string { return mon.Report() },
+			"perf":  func(string) string { return mon.Report() },
+			"trace": func(string) string { return tracer.Dump() },
+			"histo": func(string) string { return tracer.DumpHisto() },
 		},
 	}); err != nil {
 		return err

@@ -20,7 +20,27 @@ import (
 	"spin/internal/netstack"
 	"spin/internal/sal"
 	"spin/internal/sim"
+	"spin/internal/trace"
 )
+
+// debugContent layers the kernel's tracing endpoints over the document
+// tree: GET /debug/trace returns the dispatch ring, GET /debug/histo the
+// latency histograms — up-to-date performance information served by the
+// same in-kernel HTTP extension that serves documents (paper §3.2).
+type debugContent struct {
+	docs   netstack.HTTPContent
+	tracer *trace.Tracer
+}
+
+func (d debugContent) Get(path string) ([]byte, bool) {
+	switch path {
+	case "/debug/trace":
+		return []byte(d.tracer.Dump()), true
+	case "/debug/histo":
+		return []byte(d.tracer.DumpHisto()), true
+	}
+	return d.docs.Get(path)
+}
 
 func main() {
 	requests := flag.Int("n", 6, "requests per document")
@@ -59,7 +79,9 @@ func run(requests int) error {
 		}
 	}
 	cache := fs.NewWebCache(server.FS, 256<<10, 64<<10)
-	if _, err := netstack.NewHTTPServer(server.Stack, 80, netstack.InKernelDelivery, cache); err != nil {
+	tracer := server.EnableTracing(1024)
+	if _, err := netstack.NewHTTPServer(server.Stack, 80, netstack.InKernelDelivery,
+		debugContent{docs: cache, tracer: tracer}); err != nil {
 		return err
 	}
 
@@ -94,5 +116,20 @@ func run(requests int) error {
 	hits, misses := server.FS.CacheStats()
 	fmt.Printf("\nbuffer cache: %d hits, %d misses; web cache: %d hits, %d misses, %d large bypasses\n",
 		hits, misses, cache.Hits, cache.Misses, cache.LargeReads)
+
+	// Fetch the kernel's own profile over the wire, like any client would.
+	var histo []byte
+	got := false
+	if err := netstack.HTTPGet(client.Stack, server.Stack.IP, 80, "/debug/histo",
+		netstack.InKernelDelivery, func(_ string, body []byte) {
+			histo = body
+			got = true
+		}); err != nil {
+		return err
+	}
+	if !cluster.RunUntil(func() bool { return got }, 0) {
+		return fmt.Errorf("/debug/histo request never completed")
+	}
+	fmt.Printf("\nGET /debug/histo (also available: /debug/trace):\n%s", histo)
 	return nil
 }

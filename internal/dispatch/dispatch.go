@@ -37,6 +37,7 @@ import (
 
 	"spin/internal/domain"
 	"spin/internal/sim"
+	"spin/internal/trace"
 )
 
 // Handler is an event handler. arg is the event argument supplied by the
@@ -170,6 +171,12 @@ type Dispatcher struct {
 	faults    atomic.Int64
 	faultMu   sync.Mutex
 	lastFault string
+
+	// tracer, when non-nil, receives a trace record and latency samples
+	// for every raise. Disabled tracing costs the read path exactly one
+	// predictable-nil atomic load; enabling/disabling is one pointer swap
+	// and raises in flight keep the tracer they loaded.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // New returns a dispatcher charging costs from profile against the engine's
@@ -406,13 +413,31 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 	}
 	st.raises.Add(1)
 	snap := st.snap.Load()
+	// Tracing disabled is the common case: tr is nil and the only cost on
+	// this path is the one predictable-nil load above each branch below.
+	tr := d.tracer.Load()
 	// Fast path: exactly one unguarded synchronous handler — direct
 	// procedure call from raiser to handler (still within the runtime's
 	// exception containment and the event's time bound).
 	if len(snap.handlers) == 1 && len(snap.handlers[0].guards) == 0 && !snap.constraint.Async {
 		e := snap.handlers[0]
 		d.clock.Advance(d.profile.CrossDomainCall)
-		res, aborted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		if tr == nil {
+			res, aborted, _ := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+			if aborted {
+				st.aborts.Add(1)
+				return nil
+			}
+			return res
+		}
+		start := d.clock.Now()
+		res, aborted, faulted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		dur := d.clock.Now().Sub(start)
+		tr.Observe(handlerKey(e), dur)
+		tr.Trace(trace.Record{
+			Event: event, Origin: "dispatch", Handlers: 1,
+			Start: start, Duration: dur, Outcome: outcomeOf(aborted, faulted),
+		})
 		if aborted {
 			st.aborts.Add(1)
 			return nil
@@ -420,7 +445,13 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 		return res
 	}
 
+	var start sim.Time
+	if tr != nil {
+		start = d.clock.Now()
+	}
 	var results []any
+	ran := 0
+	anyAbort, anyFault := false, false
 	for _, e := range snap.handlers {
 		pass := true
 		for _, g := range e.guards {
@@ -439,23 +470,72 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 			e := e
 			bound := snap.constraint.TimeBound
 			d.clock.Advance(d.profile.HandlerInvoke)
+			ran++
 			d.engine.After(0, func() {
-				if _, aborted := d.invokeBounded(bound, e, arg); aborted {
+				if _, aborted, _ := d.invokeBounded(bound, e, arg); aborted {
 					st.aborts.Add(1)
 				}
 			})
 			continue
 		}
 		d.clock.Advance(d.profile.HandlerInvoke)
-		res, aborted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		ran++
+		var hstart sim.Time
+		if tr != nil {
+			hstart = d.clock.Now()
+		}
+		res, aborted, faulted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		if tr != nil {
+			tr.Observe(handlerKey(e), d.clock.Now().Sub(hstart))
+		}
 		if aborted {
 			st.aborts.Add(1)
+			anyAbort = true
+			anyFault = anyFault || faulted
 			continue
 		}
 		results = append(results, res)
 	}
+	if tr != nil {
+		tr.Trace(trace.Record{
+			Event: event, Origin: "dispatch", Handlers: ran,
+			Start: start, Duration: d.clock.Now().Sub(start),
+			Outcome: outcomeOf(anyAbort, anyFault),
+		})
+	}
 	return snap.combiner(results)
 }
+
+// handlerKey names a handler's latency series: the event plus the
+// installer's identity ("#primary" for the default implementation).
+func handlerKey(e *handlerEntry) string {
+	if e.primary {
+		return e.event + "#primary"
+	}
+	return e.event + "#" + e.owner.Name
+}
+
+// outcomeOf classifies a dispatch for its trace record.
+func outcomeOf(aborted, faulted bool) trace.Outcome {
+	switch {
+	case faulted:
+		return trace.OutcomeFaulted
+	case aborted:
+		return trace.OutcomeAborted
+	default:
+		return trace.OutcomeOK
+	}
+}
+
+// SetTracer enables tracing (t non-nil) or disables it (t nil) with a
+// single atomic pointer swap. Raises in flight keep whichever tracer they
+// loaded at dispatch start.
+func (d *Dispatcher) SetTracer(t *trace.Tracer) { d.tracer.Store(t) }
+
+// Tracer returns the active tracer, or nil when tracing is disabled.
+// Subsystems outside the dispatcher (netstack, scheduler, pager) use it to
+// feed their own latency series through the same enable/disable switch.
+func (d *Dispatcher) Tracer() *trace.Tracer { return d.tracer.Load() }
 
 // invokeBounded runs the handler, enforcing the virtual-time bound: if the
 // handler advanced the clock beyond the bound its result is discarded and it
@@ -470,25 +550,25 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 // of an extension is no more catastrophic than the failure of code executing
 // in the runtime libraries found in conventional systems" (§4.3). The raiser
 // and all other handlers proceed.
-func (d *Dispatcher) invokeBounded(bound sim.Duration, e *handlerEntry, arg any) (res any, aborted bool) {
+func (d *Dispatcher) invokeBounded(bound sim.Duration, e *handlerEntry, arg any) (res any, aborted, faulted bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			d.faults.Add(1)
 			d.faultMu.Lock()
 			d.lastFault = fmt.Sprintf("handler of %q (installer %q): %v", e.event, e.owner.Name, r)
 			d.faultMu.Unlock()
-			res, aborted = nil, true
+			res, aborted, faulted = nil, true, true
 		}
 	}()
 	if bound <= 0 {
-		return e.handler(arg, e.closure), false
+		return e.handler(arg, e.closure), false, false
 	}
 	start := d.clock.Now()
 	res = e.handler(arg, e.closure)
 	if d.clock.Now().Sub(start) > bound {
-		return nil, true
+		return nil, true, false
 	}
-	return res, false
+	return res, false, false
 }
 
 // ExtensionFaults reports how many handler runtime exceptions the dispatcher

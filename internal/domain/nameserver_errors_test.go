@@ -1,0 +1,165 @@
+package domain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spin/internal/safe"
+)
+
+// Table-driven error paths through the nameserver: every way an export or
+// import can be refused, and what the caller sees. The paper's access
+// control lives entirely in these refusals (§3.1) — an extension that cannot
+// import an interface cannot name, let alone call, the resource behind it.
+func TestNameserverErrorPaths(t *testing.T) {
+	exporter := func(t *testing.T) *T {
+		t.Helper()
+		d, err := CreateFromModule("Svc", func(o *safe.ObjectFile) {
+			o.Export("Svc.Call", func() {})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	importerOf := func(name string) *T {
+		var call func()
+		d, _ := CreateFromModule("Client", func(o *safe.ObjectFile) {
+			o.Import(name, &call)
+		})
+		return d
+	}
+
+	cases := []struct {
+		name    string
+		run     func(t *testing.T, ns *Nameserver) error
+		wantErr error  // matched with errors.Is when non-nil
+		wantMsg string // substring of the error text otherwise
+	}{
+		{
+			name: "import-miss",
+			run: func(t *testing.T, ns *Nameserver) error {
+				_, err := ns.Import("NoSuchService", Identity{Name: "app"})
+				return err
+			},
+			wantErr: ErrNotExported,
+		},
+		{
+			name: "import-denied",
+			run: func(t *testing.T, ns *Nameserver) error {
+				if err := ns.Export("Guarded", exporter(t), TrustedOnly); err != nil {
+					t.Fatal(err)
+				}
+				_, err := ns.Import("Guarded", Identity{Name: "rogue"})
+				return err
+			},
+			wantErr: ErrUnauthorized,
+		},
+		{
+			name: "import-denied-names-principal",
+			run: func(t *testing.T, ns *Nameserver) error {
+				if err := ns.Export("Guarded", exporter(t), TrustedOnly); err != nil {
+					t.Fatal(err)
+				}
+				_, err := ns.Import("Guarded", Identity{Name: "rogue"})
+				return err
+			},
+			wantMsg: `"rogue"`,
+		},
+		{
+			name: "export-duplicate",
+			run: func(t *testing.T, ns *Nameserver) error {
+				if err := ns.Export("Svc", exporter(t), nil); err != nil {
+					t.Fatal(err)
+				}
+				return ns.Export("Svc", exporter(t), nil)
+			},
+			wantMsg: "already exported",
+		},
+		{
+			name: "export-nil-domain",
+			run: func(t *testing.T, ns *Nameserver) error {
+				return ns.Export("Svc", nil, nil)
+			},
+			wantMsg: "nil domain",
+		},
+		{
+			name: "import-after-unexport",
+			run: func(t *testing.T, ns *Nameserver) error {
+				if err := ns.Export("Svc", exporter(t), nil); err != nil {
+					t.Fatal(err)
+				}
+				ns.Unexport("Svc")
+				_, err := ns.Import("Svc", Identity{Name: "app"})
+				return err
+			},
+			wantErr: ErrNotExported,
+		},
+		{
+			name: "link-against-miss",
+			run: func(t *testing.T, ns *Nameserver) error {
+				return ns.LinkAgainst("NoSuchService", Identity{Name: "app"}, importerOf("Svc.Call"))
+			},
+			wantErr: ErrNotExported,
+		},
+		{
+			name: "link-against-denied",
+			run: func(t *testing.T, ns *Nameserver) error {
+				if err := ns.Export("Guarded", exporter(t), TrustedOnly); err != nil {
+					t.Fatal(err)
+				}
+				return ns.LinkAgainst("Guarded", Identity{Name: "rogue"}, importerOf("Svc.Call"))
+			},
+			wantErr: ErrUnauthorized,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(t, NewNameserver())
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("err = %q, want substring %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// A denied LinkAgainst must leave the importer's symbols untouched, so a
+// later authorized link still resolves them.
+func TestLinkAgainstDenialLeavesImporterLinkable(t *testing.T) {
+	ns := NewNameserver()
+	svc, err := CreateFromModule("Svc", func(o *safe.ObjectFile) {
+		o.Export("Svc.Ping", func() int { return 42 })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Export("Svc", svc, TrustedOnly); err != nil {
+		t.Fatal(err)
+	}
+	var ping func() int
+	client, err := CreateFromModule("Client", func(o *safe.ObjectFile) {
+		o.Import("Svc.Ping", &ping)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.LinkAgainst("Svc", Identity{Name: "rogue"}, client); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("rogue link err = %v, want ErrUnauthorized", err)
+	}
+	if ping != nil {
+		t.Fatal("denied link resolved the import anyway")
+	}
+	if err := ns.LinkAgainst("Svc", Identity{Name: "core", Trusted: true}, client); err != nil {
+		t.Fatal(err)
+	}
+	if ping == nil || ping() != 42 {
+		t.Error("authorized link did not resolve Svc.Ping")
+	}
+}

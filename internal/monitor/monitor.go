@@ -15,6 +15,7 @@ import (
 	"spin/internal/dispatch"
 	"spin/internal/domain"
 	"spin/internal/sim"
+	"spin/internal/trace"
 )
 
 // Counter is the per-event accumulator. Its handler runs inside the
@@ -28,6 +29,9 @@ type Counter struct {
 	lastAt  sim.Time
 	minGap  sim.Duration
 	maxGap  sim.Duration
+	// gaps accumulates the full inter-arrival distribution in the trace
+	// subsystem's log₂ buckets, not just the min/max extremes.
+	gaps *trace.Histogram
 }
 
 // observe records one raise at virtual time now.
@@ -44,6 +48,7 @@ func (c *Counter) observe(now sim.Time) {
 		if gap > c.maxGap {
 			c.maxGap = gap
 		}
+		c.gaps.Observe(gap)
 	}
 	c.lastAt = now
 	c.count++
@@ -77,6 +82,11 @@ func (c *Counter) MaxGap() sim.Duration {
 	defer c.mu.Unlock()
 	return c.maxGap
 }
+
+// Gaps returns the inter-arrival latency histogram (log₂ buckets shared
+// with the trace subsystem). The histogram's own accessors are atomic, so
+// it may be read while raises are in flight.
+func (c *Counter) Gaps() *trace.Histogram { return c.gaps }
 
 // Rate returns events per virtual second over the observation window.
 func (c *Counter) Rate() float64 {
@@ -118,7 +128,7 @@ func (m *Monitor) Watch(event string) error {
 		m.mu.Unlock()
 		return fmt.Errorf("monitor: already watching %q", event)
 	}
-	c := &Counter{}
+	c := &Counter{gaps: trace.NewHistogram()}
 	m.counters[event] = c
 	m.mu.Unlock()
 	ref, err := m.disp.Install(event, func(_, _ any) any {
@@ -176,7 +186,8 @@ func (m *Monitor) Report() string {
 		n := c.Count()
 		fmt.Fprintf(&b, "  %-28s count=%-8d rate=%8.1f/s", ev, n, c.Rate())
 		if n >= 2 {
-			fmt.Fprintf(&b, " gap=[%v, %v]", c.MinGap(), c.MaxGap())
+			fmt.Fprintf(&b, " gap=[%v, %v] p50=%v p99=%v",
+				c.MinGap(), c.MaxGap(), c.gaps.Quantile(0.50), c.gaps.Quantile(0.99))
 		}
 		fmt.Fprintln(&b)
 	}

@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spin/internal/dispatch"
+)
+
+// Torture: readers pulling Snapshot/Report/Counter views while parallel
+// raisers drive the watched events and a churner adds fresh watches. Run
+// under -race. Counts must be exact when the dust settles — the monitor's
+// Counter lock and the gap histogram's atomics may not drop observations —
+// and every reader view must be internally consistent (counts only grow).
+func TestSnapshotVersusObserveUnderParallelRaises(t *testing.T) {
+	m, disp, _ := newRig(t)
+	const events = 4
+	names := make([]string, events)
+	for i := range names {
+		names[i] = fmt.Sprintf("E%d", i)
+		if err := disp.Define(names[i], dispatch.DefineOptions{
+			Primary: func(_, _ any) any { return nil },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Watch(names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		raisers = 4
+		perR    = 20000
+		readers = 3
+	)
+	var writerWg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < raisers; r++ {
+		r := r
+		writerWg.Add(1)
+		go func() {
+			defer writerWg.Done()
+			for i := 0; i < perR; i++ {
+				disp.Raise(names[(r+i)%events], i)
+			}
+		}()
+	}
+
+	// A churner racing Watch against the raisers exercises the counters-map
+	// lock; its events are never raised, so final counts stay exact.
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		for i := 0; i < 500; i++ {
+			name := fmt.Sprintf("Fresh%d", i)
+			if err := disp.Define(name, dispatch.DefineOptions{
+				Primary: func(_, _ any) any { return nil },
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := m.Watch(name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	prev := make([]map[string]int64, readers)
+	for g := 0; g < readers; g++ {
+		g := g
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			for {
+				snap := m.Snapshot()
+				if last := prev[g]; last != nil {
+					for _, ev := range names {
+						if snap[ev] < last[ev] {
+							t.Errorf("reader %d: count for %s went backwards: %d -> %d",
+								g, ev, last[ev], snap[ev])
+							return
+						}
+					}
+				}
+				prev[g] = snap
+				_ = m.Report()
+				for _, ev := range names {
+					c, ok := m.Counter(ev)
+					if !ok {
+						t.Errorf("reader %d: counter for %s vanished", g, ev)
+						return
+					}
+					_ = c.Rate()
+					_, _ = c.Window()
+					_ = c.Gaps().Snapshot()
+					_ = c.Gaps().Quantile(0.99)
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+
+	const total = raisers * perR
+	var sum int64
+	for _, ev := range names {
+		c, ok := m.Counter(ev)
+		if !ok {
+			t.Fatalf("no counter for %s", ev)
+		}
+		sum += c.Count()
+		// The gap histogram saw every observation after the first.
+		if gaps := c.Gaps().Count(); gaps != c.Count()-1 {
+			t.Errorf("%s: histogram count = %d, counter = %d", ev, gaps, c.Count())
+		}
+	}
+	if sum != total {
+		t.Errorf("total observed = %d, want %d", sum, total)
+	}
+	if snap := m.Snapshot(); len(snap) != events+500 {
+		t.Errorf("snapshot has %d entries, want %d", len(snap), events+500)
+	}
+}

@@ -54,8 +54,20 @@ func NewHTTPServer(stack *Stack, port uint16, cost DeliveryCost, content HTTPCon
 	return h, nil
 }
 
-// serve parses one request and sends the response on the connection.
+// serve parses one request and sends the response on the connection. When
+// tracing is enabled the whole serve — parse, content lookup, response
+// send — is one sample in the "net.http.serve" latency series.
 func (h *HTTPServer) serve(c *Conn, req string) {
+	if tr := h.stack.disp.Tracer(); tr != nil {
+		start := h.stack.clock.Now()
+		defer func() {
+			tr.Observe("net.http.serve", h.stack.clock.Now().Sub(start))
+		}()
+	}
+	h.serve1(c, req)
+}
+
+func (h *HTTPServer) serve1(c *Conn, req string) {
 	line, _, _ := strings.Cut(req, "\r\n")
 	fields := strings.Fields(line)
 	if len(fields) < 2 || fields[0] != "GET" {

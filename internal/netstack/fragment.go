@@ -2,6 +2,7 @@ package netstack
 
 import (
 	"spin/internal/sal"
+	"spin/internal/sim"
 )
 
 // IP fragmentation and reassembly. Datagrams larger than the outbound
@@ -41,7 +42,14 @@ type fragBuffer struct {
 	received int
 	total    int // total payload length; -1 until the final fragment
 	template Packet
+	firstAt  sim.Time // arrival of the first fragment, for latency tracing
 }
+
+// MaxDatagram bounds a reassembled datagram's payload (the IP total-length
+// field is 16 bits). Fragments claiming offsets beyond it are malformed —
+// from a hostile or corrupted header — and are dropped rather than allowed
+// to grow the buffer without bound.
+const MaxDatagram = 64 << 10
 
 func newReassembly() *reassembly {
 	return &reassembly{parts: make(map[fragKey]*fragBuffer)}
@@ -77,13 +85,21 @@ func (s *Stack) sendFragmented(pkt *Packet, nic *sal.NIC, mtu int) error {
 	return nil
 }
 
-// reassemble accepts one fragment; it returns the whole datagram when
-// complete, or nil while fragments are outstanding.
-func (r *reassembly) reassemble(pkt *Packet) *Packet {
+// reassemble accepts one fragment at virtual time now; it returns the whole
+// datagram when complete (with the latency since its first fragment), or
+// nil while fragments are outstanding. Malformed fragments — negative
+// offsets, or an end past MaxDatagram — are dropped: found by
+// FuzzFragmentReassembly, a negative offset previously panicked the copy
+// below and an oversized offset let one datagram allocate without bound.
+func (r *reassembly) reassemble(pkt *Packet, now sim.Time) (*Packet, sim.Duration) {
+	if pkt.FragOffset < 0 || pkt.FragOffset > MaxDatagram ||
+		pkt.FragOffset+len(pkt.Payload) > MaxDatagram {
+		return nil, 0
+	}
 	key := fragKey{src: pkt.Src, id: pkt.FragID}
 	buf, ok := r.parts[key]
 	if !ok {
-		buf = &fragBuffer{total: -1, template: *pkt}
+		buf = &fragBuffer{total: -1, template: *pkt, firstAt: now}
 		r.parts[key] = buf
 	}
 	end := pkt.FragOffset + len(pkt.Payload)
@@ -105,9 +121,9 @@ func (r *reassembly) reassemble(pkt *Packet) *Packet {
 		whole.FragOffset = 0
 		whole.MoreFrags = false
 		whole.Claimed = false
-		return &whole
+		return &whole, now.Sub(buf.firstAt)
 	}
-	return nil
+	return nil, 0
 }
 
 // Pending reports datagrams awaiting fragments (tests).

@@ -193,8 +193,21 @@ func (s *Stack) AddRoute(dst IPAddr, nic *sal.NIC) {
 	s.routes[dst] = nic
 }
 
-// receive pushes one packet up the graph.
+// receive pushes one packet up the graph, timing the whole inbound path
+// when tracing is enabled (the tracer pointer is the dispatcher's single
+// enable/disable switch, so the disabled cost is one nil load per packet).
 func (s *Stack) receive(linkEvent string, pkt *Packet) {
+	tr := s.disp.Tracer()
+	if tr == nil {
+		s.receive1(linkEvent, pkt)
+		return
+	}
+	start := s.clock.Now()
+	s.receive1(linkEvent, pkt)
+	tr.Observe("net.rx", s.clock.Now().Sub(start))
+}
+
+func (s *Stack) receive1(linkEvent string, pkt *Packet) {
 	s.received++
 	// Link layer processing + event.
 	s.clock.Advance(s.profile.ProtoLayer)
@@ -214,9 +227,13 @@ func (s *Stack) receive(linkEvent string, pkt *Packet) {
 	// Reassemble fragmented datagrams before transport processing.
 	if pkt.MoreFrags || pkt.FragID != 0 {
 		s.clock.Advance(s.profile.ProtoLayer / 2)
-		whole := s.reasm.reassemble(pkt)
+		whole, waited := s.reasm.reassemble(pkt, s.clock.Now())
 		if whole == nil {
 			return // awaiting more fragments
+		}
+		if tr := s.disp.Tracer(); tr != nil {
+			// Reassembly latency: first fragment arrival to completion.
+			tr.Observe("net.ip.reassemble", waited)
 		}
 		pkt = whole
 	}

@@ -337,8 +337,19 @@ func (c *Conn) onRetxTimeout() {
 	c.armRetx()
 }
 
-// deliver routes one inbound TCP segment.
+// deliver routes one inbound TCP segment, feeding the per-segment latency
+// series when tracing is enabled.
 func (t *TCP) deliver(pkt *Packet) {
+	if tr := t.stack.disp.Tracer(); tr != nil {
+		start := t.stack.clock.Now()
+		defer func() {
+			tr.Observe("net.tcp.deliver", t.stack.clock.Now().Sub(start))
+		}()
+	}
+	t.deliver1(pkt)
+}
+
+func (t *TCP) deliver1(pkt *Packet) {
 	key := connKey{pkt.Src, pkt.SrcPort, pkt.DstPort}
 	if c, ok := t.conns[key]; ok {
 		c.handle(pkt)

@@ -1,0 +1,101 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func wireSamplePackets() []*Packet {
+	return []*Packet{
+		{Src: Addr(10, 0, 0, 1), Dst: Addr(10, 0, 0, 2), Proto: ProtoUDP,
+			SrcPort: 4000, DstPort: 53, TTL: 32, Payload: []byte("query")},
+		{Src: Addr(10, 0, 0, 2), Dst: Addr(10, 0, 0, 1), Proto: ProtoTCP,
+			SrcPort: 80, DstPort: 5501, Seq: 1000, Ack: 2000,
+			Flags: FlagSYN | FlagACK, Window: 32 * 1024, TTL: 32, Payload: []byte("hi")},
+		{Src: Addr(192, 168, 0, 7), Dst: Addr(192, 168, 0, 9), Proto: ProtoICMP,
+			ICMPType: 8, ICMPSeq: 7, TTL: 64, Payload: make([]byte, 56)},
+		{Src: Addr(10, 0, 0, 3), Dst: Addr(10, 0, 0, 4), Proto: ProtoUDP,
+			SrcPort: 9, DstPort: 9, TTL: 1, FragID: 42, FragOffset: 1480,
+			MoreFrags: true, Payload: bytes.Repeat([]byte{0xab}, 512)},
+	}
+}
+
+// samePacket compares the wire-visible fields of two packets.
+func samePacket(a, b *Packet) bool {
+	return a.Src == b.Src && a.Dst == b.Dst && a.Proto == b.Proto &&
+		a.SrcPort == b.SrcPort && a.DstPort == b.DstPort &&
+		a.Seq == b.Seq && a.Ack == b.Ack && a.Flags == b.Flags &&
+		a.Window == b.Window && a.ICMPType == b.ICMPType && a.ICMPSeq == b.ICMPSeq &&
+		a.TTL == b.TTL && a.FragID == b.FragID && a.FragOffset == b.FragOffset &&
+		a.MoreFrags == b.MoreFrags && bytes.Equal(a.Payload, b.Payload)
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, pkt := range wireSamplePackets() {
+		b := EncodePacket(pkt)
+		if len(b) != pkt.WireSize() {
+			t.Errorf("packet %d: encoded %d bytes, WireSize %d", i, len(b), pkt.WireSize())
+		}
+		got, err := ParsePacket(b)
+		if err != nil {
+			t.Fatalf("packet %d: parse: %v", i, err)
+		}
+		if !samePacket(pkt, got) {
+			t.Errorf("packet %d: round trip\n  sent %+v\n  got  %+v", i, pkt, got)
+		}
+	}
+}
+
+func TestParsePacketRejectsMalformed(t *testing.T) {
+	good := EncodePacket(wireSamplePackets()[0])
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrFrameTooShort},
+		{"truncated-ip", func(b []byte) []byte { return b[:EtherHeader+3] }, ErrFrameTooShort},
+		{"bad-ethertype", func(b []byte) []byte { b[12] = 0x86; return b }, ErrBadEtherType},
+		{"bad-version", func(b []byte) []byte { b[EtherHeader] = 6; return b }, ErrBadIPVersion},
+		{"total-past-frame", func(b []byte) []byte {
+			b[EtherHeader+1] = 0xff
+			b[EtherHeader+2] = 0xff
+			return b
+		}, ErrBadLength},
+		{"total-below-headers", func(b []byte) []byte {
+			b[EtherHeader+1] = 0
+			b[EtherHeader+2] = 4
+			return b
+		}, ErrBadLength},
+		{"udp-length-mismatch", func(b []byte) []byte {
+			b[EtherHeader+IPHeader+4] = 0xee
+			return b
+		}, ErrBadLength},
+	}
+	for _, tc := range cases {
+		b := tc.mutate(append([]byte(nil), good...))
+		if _, err := ParsePacket(b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// TCP options (data offset > 5) are unsupported and must be rejected,
+	// not mis-sliced.
+	tcp := EncodePacket(wireSamplePackets()[1])
+	tcp[EtherHeader+IPHeader+12] = 8 << 4
+	if _, err := ParsePacket(tcp); !errors.Is(err, ErrBadLength) {
+		t.Errorf("tcp options: err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestEncodeSaturatesWideFields(t *testing.T) {
+	pkt := &Packet{Src: 1, Dst: 2, Proto: ProtoTCP, TTL: 4096, Window: 1 << 20,
+		FragOffset: 1 << 20, Payload: []byte("x")}
+	got, err := ParsePacket(EncodePacket(pkt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TTL != 255 || got.Window != 0xffff || got.FragOffset != 0xffff {
+		t.Errorf("saturation: ttl=%d window=%d fragoff=%d", got.TTL, got.Window, got.FragOffset)
+	}
+}

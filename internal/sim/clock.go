@@ -48,6 +48,16 @@ func (d Duration) String() string {
 	}
 }
 
+// String renders t as a virtual-time stamp: the offset since boot in the
+// same units as Duration, prefixed with "+" (trace records and reports
+// print these; raw nanosecond counts are unreadable at profile scale).
+func (t Time) String() string {
+	if t < 0 {
+		return fmt.Sprintf("-%v", Duration(-t))
+	}
+	return "+" + Duration(t).String()
+}
+
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 

@@ -267,9 +267,18 @@ func (sched *Scheduler) Run() {
 				s.exit()
 			}(next)
 		}
-		// Hand over the CPU and wait for it back.
+		// Hand over the CPU and wait for it back, timing the slice (the
+		// virtual time the strand held the CPU) when tracing is enabled.
+		tr := sched.disp.Tracer()
+		var sliceStart sim.Time
+		if tr != nil {
+			sliceStart = sched.clock.Now()
+		}
 		next.token <- struct{}{}
 		<-sched.yieldCh
+		if tr != nil {
+			tr.Observe("sched.slice", sched.clock.Now().Sub(sliceStart))
+		}
 		sched.current = nil
 	}
 }

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"spin/internal/sim"
+)
+
+// Outcome classifies how a dispatch ended.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomeOK: every handler that ran completed within its time bound.
+	OutcomeOK Outcome = iota
+	// OutcomeAborted: at least one handler exceeded the event's time bound
+	// and had its result discarded.
+	OutcomeAborted
+	// OutcomeFaulted: at least one handler raised a runtime exception that
+	// was contained at the dispatch boundary.
+	OutcomeFaulted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeAborted:
+		return "abort"
+	case OutcomeFaulted:
+		return "fault"
+	}
+	return "?"
+}
+
+// Record is one traced dispatch (or other kernel activity). Records are
+// immutable once published to the ring.
+type Record struct {
+	// Seq is the record's global sequence number, assigned at publish.
+	Seq uint64
+	// Event is the event name (or subsystem label for non-dispatch records).
+	Event string
+	// Origin names the subsystem that produced the record ("dispatch",
+	// "net", "sched", "vm").
+	Origin string
+	// Handlers is the number of handlers the dispatch ran (0 for
+	// non-dispatch records).
+	Handlers int
+	// Start is the virtual time the activity began.
+	Start sim.Time
+	// Duration is the virtual time the activity consumed.
+	Duration sim.Duration
+	// Outcome classifies the completion.
+	Outcome Outcome
+}
+
+// Ring is a fixed-size lock-free ring buffer of trace records. Writers claim
+// a slot with one atomic add and publish an immutable *Record with one
+// atomic store — the same snapshot discipline as the dispatcher's event
+// state. Readers load slot pointers atomically, so a concurrent Snapshot
+// sees a mix of old and new records but never a torn one. When the ring
+// wraps, the oldest records are overwritten.
+type Ring struct {
+	slots  []atomic.Pointer[Record]
+	mask   uint64
+	cursor atomic.Uint64 // next sequence number to claim
+}
+
+// NewRing returns a ring holding size records, rounded up to a power of two
+// (minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Record], n), mask: uint64(n - 1)}
+}
+
+// Cap reports the ring's capacity in records.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Published reports how many records have ever been published (≥ Cap means
+// the ring has wrapped).
+func (r *Ring) Published() uint64 { return r.cursor.Load() }
+
+// Put publishes rec, stamping its sequence number. The rec must not be
+// mutated afterwards.
+func (r *Ring) Put(rec *Record) {
+	seq := r.cursor.Add(1) - 1
+	rec.Seq = seq
+	r.slots[seq&r.mask].Store(rec)
+}
+
+// Snapshot returns the buffered records ordered oldest to newest. Records
+// published concurrently with the snapshot may or may not appear; slots a
+// wrapping writer is about to overwrite may surface as newer records — the
+// result is sorted by sequence number so callers always see a coherent
+// timeline.
+func (r *Ring) Snapshot() []Record {
+	cursor := r.cursor.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if cursor > n {
+		lo = cursor - n
+	}
+	out := make([]Record, 0, cursor-lo)
+	for seq := lo; seq < cursor; seq++ {
+		if rec := r.slots[seq&r.mask].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	// Slots may have been overwritten between loading cursor and reading;
+	// restore timeline order by sequence number (mostly sorted already).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Seq < out[j-1].Seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package trace is the kernel-wide event tracing and latency profiling
+// subsystem — the other half of the paper's §3.2 monitoring style
+// ("extensions passively monitor system activity, and provide up-to-date
+// performance information to applications"). Where internal/monitor counts
+// raises, trace records where virtual time goes: a fixed-size lock-free
+// ring buffer of per-dispatch records, plus per-event and per-handler
+// latency histograms in log₂ buckets that the dispatcher, netstack packet
+// path, strand scheduler and VM pager feed.
+//
+// Tracing is zero-cost when disabled: subsystems hold an
+// atomic.Pointer[Tracer] and the disabled path is a single predictable-nil
+// load. Enabling or disabling is one atomic pointer swap; raises in flight
+// keep using whichever tracer they loaded. All record/observe paths are
+// lock-free (atomic slot stores in the ring, atomic bucket counters in the
+// histograms, copy-on-write histogram table), so tracing never serializes
+// the dispatcher's parallel Raise path.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"spin/internal/sim"
+)
+
+// Tracer owns one kernel's trace ring and histogram table.
+type Tracer struct {
+	ring *Ring
+
+	// histos is a copy-on-write map name -> *Histogram: Observe on an
+	// existing series is lock-free; mu serializes only the insertion of
+	// new series (rare — the set of event names stabilizes immediately).
+	mu     sync.Mutex
+	histos atomic.Pointer[map[string]*Histogram]
+}
+
+// DefaultRingSize is the default trace ring capacity.
+const DefaultRingSize = 4096
+
+// New returns a tracer with a ring of at least ringSize records
+// (DefaultRingSize if ringSize <= 0).
+func New(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	t := &Tracer{ring: NewRing(ringSize)}
+	empty := make(map[string]*Histogram)
+	t.histos.Store(&empty)
+	return t
+}
+
+// Trace publishes one record to the ring and feeds the event's latency
+// histogram.
+func (t *Tracer) Trace(rec Record) {
+	r := rec
+	t.ring.Put(&r)
+	t.Observe(rec.Event, rec.Duration)
+}
+
+// Observe records one latency sample for the named series, creating the
+// series on first use.
+func (t *Tracer) Observe(name string, d sim.Duration) {
+	if h, ok := (*t.histos.Load())[name]; ok {
+		h.Observe(d)
+		return
+	}
+	t.histogram(name).Observe(d)
+}
+
+// histogram returns the named series, inserting it under the writer lock if
+// new (copy-on-write, so concurrent Observes never see a torn map).
+func (t *Tracer) histogram(name string) *Histogram {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.histos.Load()
+	if h, ok := old[name]; ok {
+		return h
+	}
+	next := make(map[string]*Histogram, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	h := NewHistogram()
+	next[name] = h
+	t.histos.Store(&next)
+	return h
+}
+
+// Histogram returns the named latency series, if it has samples.
+func (t *Tracer) Histogram(name string) (*Histogram, bool) {
+	h, ok := (*t.histos.Load())[name]
+	return h, ok
+}
+
+// Series lists the histogram series names, sorted.
+func (t *Tracer) Series() []string {
+	m := *t.histos.Load()
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the ring's buffered records, oldest first.
+func (t *Tracer) Snapshot() []Record { return t.ring.Snapshot() }
+
+// Ring exposes the underlying ring (tests, torture harnesses).
+func (t *Tracer) Ring() *Ring { return t.ring }
+
+// Dump renders the trace ring as a text report: one line per buffered
+// record, newest last.
+func (t *Tracer) Dump() string {
+	recs := t.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace ring: %d records buffered, %d published (cap %d)\n",
+		len(recs), t.ring.Published(), t.ring.Cap())
+	for _, r := range recs {
+		fmt.Fprintf(&sb, "  #%-6d t=%-12v %-9s %-28s handlers=%-2d dur=%-10v %s\n",
+			r.Seq, r.Start, r.Origin, r.Event, r.Handlers, r.Duration, r.Outcome)
+	}
+	return sb.String()
+}
+
+// DumpHisto renders every latency series: count, mean, p50/p99, max, and
+// the log₂ bucket bars.
+func (t *Tracer) DumpHisto() string {
+	var sb strings.Builder
+	names := t.Series()
+	fmt.Fprintf(&sb, "latency histograms: %d series\n", len(names))
+	for _, name := range names {
+		h, _ := t.Histogram(name)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s\n%s", name, h.String())
+	}
+	return sb.String()
+}

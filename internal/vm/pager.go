@@ -84,7 +84,16 @@ func NewPager(sys *System, disk *sal.Disk, ctx *Context, region *VirtAddr,
 }
 
 // fault brings one page in, evicting first if the resident set is full.
+// Each fault is one sample in the "vm.pager.fault" latency series when
+// tracing is enabled — the disk transfer and mapping costs it covers are
+// what the paper's Table 4 measures.
 func (pg *Pager) fault(page int) bool {
+	if tr := pg.sys.Disp.Tracer(); tr != nil {
+		start := pg.sys.Clock.Now()
+		defer func() {
+			tr.Observe("vm.pager.fault", pg.sys.Clock.Now().Sub(start))
+		}()
+	}
 	pg.Faults++
 	if len(pg.resident) >= pg.MaxResident {
 		if !pg.evictOne() {

@@ -29,6 +29,7 @@ import (
 	"spin/internal/sal"
 	"spin/internal/sim"
 	"spin/internal/strand"
+	"spin/internal/trace"
 	"spin/internal/unixsrv"
 	"spin/internal/vm"
 )
@@ -260,6 +261,25 @@ func (m *Machine) RegisterSyscall(name string, ident domain.Identity, h func(arg
 		},
 	})
 }
+
+// EnableTracing switches on kernel-wide event tracing and latency
+// profiling: every dispatch is recorded in a lock-free ring of ringSize
+// records (trace.DefaultRingSize if <= 0) and fed into per-event,
+// per-handler and per-subsystem latency histograms. The returned tracer's
+// Dump/DumpHisto render the reports; spin-dbg's trace/histo commands and
+// spin-httpd's /debug endpoints expose them remotely. Enabling is one
+// atomic pointer swap; until then the machine pays one predictable-nil
+// load per raise.
+func (m *Machine) EnableTracing(ringSize int) *trace.Tracer {
+	t := trace.New(ringSize)
+	m.Dispatcher.SetTracer(t)
+	return t
+}
+
+// DisableTracing switches tracing off (one atomic pointer swap). Records
+// already buffered remain readable through the tracer EnableTracing
+// returned.
+func (m *Machine) DisableTracing() { m.Dispatcher.SetTracer(nil) }
 
 // Run drains the machine's event queue (single-machine experiments).
 func (m *Machine) Run() { m.Engine.Run(0) }
