@@ -116,6 +116,10 @@ func run(requests int) error {
 	hits, misses := server.FS.CacheStats()
 	fmt.Printf("\nbuffer cache: %d hits, %d misses; web cache: %d hits, %d misses, %d large bypasses\n",
 		hits, misses, cache.Hits, cache.Misses, cache.LargeReads)
+	rxAccepted, rxDropped := server.Stack.RXStats()
+	pending, evicted := server.Stack.ReassemblyStats()
+	fmt.Printf("rx queues: %d accepted, %d dropped (backpressure); reassembly: %d pending, %d evicted\n",
+		rxAccepted, rxDropped, pending, evicted)
 
 	// Fetch the kernel's own profile over the wire, like any client would.
 	var histo []byte

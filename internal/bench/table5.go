@@ -84,11 +84,11 @@ func udpBandwidth(cl *sim.Cluster, recvClock *sim.Clock, flood func(), sink *net
 	seen := int64(0)
 	flood()
 	for {
-		if sink.Packets > seen {
+		if sink.Packets() > seen {
 			if seen == 0 {
 				firstAt = recvClock.Now()
 			}
-			seen = sink.Packets
+			seen = sink.Packets()
 			lastAt = recvClock.Now()
 		}
 		if seen >= int64(count) {
@@ -102,7 +102,7 @@ func udpBandwidth(cl *sim.Cluster, recvClock *sim.Clock, flood func(), sink *net
 		return 0
 	}
 	// Bits delivered after the first packet over the delivery window.
-	bits := float64(sink.Bytes) * 8 * float64(seen-1) / float64(seen)
+	bits := float64(sink.Bytes()) * 8 * float64(seen-1) / float64(seen)
 	return bits / (float64(lastAt.Sub(firstAt)) / 1e9) / 1e6
 }
 

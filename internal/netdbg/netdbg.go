@@ -170,8 +170,11 @@ func (d *Debugger) net() string {
 // Query sends one debugger command from a client stack and invokes done
 // with the reply text. The reply port is ephemeral.
 func Query(stack *netstack.Stack, server netstack.IPAddr, port uint16, cmd string, done func(string)) error {
-	replyPort := stack.UDP().EphemeralPort()
-	err := stack.UDP().Bind(replyPort, netstack.InKernelDelivery, func(pkt *netstack.Packet) {
+	replyPort, err := stack.UDP().EphemeralPort()
+	if err != nil {
+		return err
+	}
+	err = stack.UDP().Bind(replyPort, netstack.InKernelDelivery, func(pkt *netstack.Packet) {
 		stack.UDP().Unbind(replyPort)
 		if done != nil {
 			done(string(pkt.Payload))

@@ -54,10 +54,7 @@ func NewVideoServer(stack *Stack, port uint16, source VideoFrameSource) (*VideoS
 			// traversal already happened once for the template.
 			vs.stack.clock.Advance(vs.stack.profile.ProcCall)
 			vs.stack.clock.Advance(sim.Duration(len(out.Payload)) * ChecksumPerByte)
-			nic := vs.stack.routes[dst]
-			if nic == nil {
-				nic = vs.stack.defaultNIC
-			}
+			nic := vs.stack.routeFor(dst)
 			if nic == nil {
 				continue
 			}

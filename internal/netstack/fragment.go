@@ -1,6 +1,9 @@
 package netstack
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"spin/internal/sal"
 	"spin/internal/sim"
 )
@@ -27,8 +30,27 @@ func mtuFor(nic *sal.NIC) int {
 // FragOffset is the payload offset, MoreFrags marks non-final fragments.
 // (Fields live on Packet in packet.go.)
 
-// reassembly buffers partially arrived datagrams, keyed by (src, id).
+// Reassembly bounds: a partial datagram older than ReasmTTL (virtual time
+// since its first fragment) is evicted, and each shard holds at most
+// maxPendingPerShard partial datagrams (oldest evicted first). Both bounds
+// exist because UDP has no recovery — a single lost fragment would
+// otherwise pin its buffer forever.
+const (
+	ReasmTTL           = 500 * sim.Millisecond
+	maxPendingPerShard = 64
+	reasmShards        = 8
+)
+
+// reassembly buffers partially arrived datagrams, keyed by (src, id) and
+// sharded by key hash so concurrent fragment streams on different shards
+// never contend on one lock.
 type reassembly struct {
+	shards  [reasmShards]reasmShard
+	evicted atomic.Int64
+}
+
+type reasmShard struct {
+	mu    sync.Mutex
 	parts map[fragKey]*fragBuffer
 }
 
@@ -37,12 +59,70 @@ type fragKey struct {
 	id  uint32
 }
 
+// shard spreads keys across the shard array (Fibonacci hashing over both
+// fields).
+func (k fragKey) shard() int {
+	h := uint32(k.src)*2654435761 ^ k.id*0x9E3779B9
+	return int(h % reasmShards)
+}
+
+// byteRange is a covered half-open payload interval [start, end).
+type byteRange struct{ start, end int }
+
 type fragBuffer struct {
-	data     []byte
+	data []byte
+	// covered is the sorted, merged list of payload intervals actually
+	// written by arrived fragments. received is their union size — a
+	// duplicate or overlapping fragment contributes only its newly covered
+	// bytes, so retransmissions can never fake completeness.
+	covered  []byteRange
 	received int
 	total    int // total payload length; -1 until the final fragment
 	template Packet
-	firstAt  sim.Time // arrival of the first fragment, for latency tracing
+	firstAt  sim.Time // arrival of the first fragment, for latency and TTL
+}
+
+// addCovered merges [start, end) into the covered list and returns how many
+// bytes were newly covered.
+func (b *fragBuffer) addCovered(start, end int) int {
+	if end <= start {
+		return 0
+	}
+	merged := make([]byteRange, 0, len(b.covered)+1)
+	add := byteRange{start, end}
+	fresh := end - start
+	i := 0
+	for ; i < len(b.covered) && b.covered[i].end < add.start; i++ {
+		merged = append(merged, b.covered[i])
+	}
+	for ; i < len(b.covered) && b.covered[i].start <= add.end; i++ {
+		r := b.covered[i]
+		// Subtract the overlap with the existing range from the fresh count.
+		lo, hi := max(add.start, r.start), min(add.end, r.end)
+		if hi > lo {
+			fresh -= hi - lo
+		}
+		if r.start < add.start {
+			add.start = r.start
+		}
+		if r.end > add.end {
+			add.end = r.end
+		}
+	}
+	merged = append(merged, add)
+	merged = append(merged, b.covered[i:]...)
+	b.covered = merged
+	b.received += fresh
+	return fresh
+}
+
+// complete reports whether the payload [0, total) is contiguously covered.
+// Counting alone is not enough: without the contiguity check a stream that
+// covers [100, 700) would "complete" a 600-byte datagram with a zero-filled
+// hole at the front.
+func (b *fragBuffer) complete() bool {
+	return b.total >= 0 && len(b.covered) > 0 &&
+		b.covered[0].start == 0 && b.covered[0].end >= b.total
 }
 
 // MaxDatagram bounds a reassembled datagram's payload (the IP total-length
@@ -52,7 +132,11 @@ type fragBuffer struct {
 const MaxDatagram = 64 << 10
 
 func newReassembly() *reassembly {
-	return &reassembly{parts: make(map[fragKey]*fragBuffer)}
+	r := &reassembly{}
+	for i := range r.shards {
+		r.shards[i].parts = make(map[fragKey]*fragBuffer)
+	}
+	return r
 }
 
 // sendFragmented splits pkt into MTU-sized fragments and transmits each.
@@ -62,8 +146,7 @@ func (s *Stack) sendFragmented(pkt *Packet, nic *sal.NIC, mtu int) error {
 	if maxPayload <= 0 {
 		maxPayload = mtu / 2
 	}
-	s.fragID++
-	id := s.fragID
+	id := atomic.AddUint32(&s.fragID, 1)
 	payload := pkt.Payload
 	for off := 0; off < len(payload); off += maxPayload {
 		end := off + maxPayload
@@ -91,16 +174,28 @@ func (s *Stack) sendFragmented(pkt *Packet, nic *sal.NIC, mtu int) error {
 // offsets, or an end past MaxDatagram — are dropped: found by
 // FuzzFragmentReassembly, a negative offset previously panicked the copy
 // below and an oversized offset let one datagram allocate without bound.
+//
+// Concurrent streams proceed in parallel across shards; within a shard the
+// lock covers one fragment's bookkeeping.
 func (r *reassembly) reassemble(pkt *Packet, now sim.Time) (*Packet, sim.Duration) {
 	if pkt.FragOffset < 0 || pkt.FragOffset > MaxDatagram ||
 		pkt.FragOffset+len(pkt.Payload) > MaxDatagram {
 		return nil, 0
 	}
 	key := fragKey{src: pkt.Src, id: pkt.FragID}
-	buf, ok := r.parts[key]
+	sh := &r.shards[key.shard()]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	buf, ok := sh.parts[key]
 	if !ok {
+		// A new datagram starting: evict what the TTL says is dead, then
+		// make room under the cap. Both scans are bounded by the cap.
+		r.sweepShardLocked(sh, now)
+		if len(sh.parts) >= maxPendingPerShard {
+			r.evictOldestLocked(sh)
+		}
 		buf = &fragBuffer{total: -1, template: *pkt, firstAt: now}
-		r.parts[key] = buf
+		sh.parts[key] = buf
 	}
 	end := pkt.FragOffset + len(pkt.Payload)
 	if end > len(buf.data) {
@@ -109,12 +204,12 @@ func (r *reassembly) reassemble(pkt *Packet, now sim.Time) (*Packet, sim.Duratio
 		buf.data = grown
 	}
 	copy(buf.data[pkt.FragOffset:], pkt.Payload)
-	buf.received += len(pkt.Payload)
+	buf.addCovered(pkt.FragOffset, end)
 	if !pkt.MoreFrags {
 		buf.total = end
 	}
-	if buf.total >= 0 && buf.received >= buf.total {
-		delete(r.parts, key)
+	if buf.complete() {
+		delete(sh.parts, key)
 		whole := buf.template
 		whole.Payload = buf.data[:buf.total]
 		whole.FragID = 0
@@ -126,5 +221,57 @@ func (r *reassembly) reassemble(pkt *Packet, now sim.Time) (*Packet, sim.Duratio
 	return nil, 0
 }
 
+// sweepShardLocked evicts partial datagrams whose first fragment is older
+// than ReasmTTL. Callers hold sh.mu.
+func (r *reassembly) sweepShardLocked(sh *reasmShard, now sim.Time) {
+	for k, b := range sh.parts {
+		if now.Sub(b.firstAt) > ReasmTTL {
+			delete(sh.parts, k)
+			r.evicted.Add(1)
+		}
+	}
+}
+
+// evictOldestLocked drops the shard's oldest partial datagram. Callers hold
+// sh.mu.
+func (r *reassembly) evictOldestLocked(sh *reasmShard) {
+	var oldestKey fragKey
+	var oldest *fragBuffer
+	for k, b := range sh.parts {
+		if oldest == nil || b.firstAt < oldest.firstAt {
+			oldestKey, oldest = k, b
+		}
+	}
+	if oldest != nil {
+		delete(sh.parts, oldestKey)
+		r.evicted.Add(1)
+	}
+}
+
+// sweep evicts every partial datagram older than ReasmTTL across all shards
+// — the virtual-time TTL sweep (also applied lazily per shard as new
+// datagrams arrive).
+func (r *reassembly) sweep(now sim.Time) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		r.sweepShardLocked(sh, now)
+		sh.mu.Unlock()
+	}
+}
+
 // Pending reports datagrams awaiting fragments (tests).
-func (r *reassembly) Pending() int { return len(r.parts) }
+func (r *reassembly) Pending() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.parts)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Evicted reports partial datagrams dropped by the TTL sweep or the
+// pending cap.
+func (r *reassembly) Evicted() int64 { return r.evicted.Load() }

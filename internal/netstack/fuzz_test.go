@@ -41,7 +41,10 @@ func FuzzParsePacket(f *testing.F) {
 //
 // This target found two real bugs in the pre-hardened reassemble: a
 // negative FragOffset panicked the payload copy, and a large offset let a
-// single datagram allocate an unbounded buffer.
+// single datagram allocate an unbounded buffer. Every fragment payload is
+// filled with a marker byte, so a completed datagram containing anything
+// else (a zero-filled hole) proves a third bug: counting duplicate or
+// overlapping fragments toward completeness.
 func FuzzFragmentReassembly(f *testing.F) {
 	// One well-formed split of a 3KB datagram, plus adversarial shapes.
 	var good []byte
@@ -53,9 +56,22 @@ func FuzzFragmentReassembly(f *testing.F) {
 		good = appendFragDesc(good, 1, 7, uint16(off), end < 3000, uint16(end-off))
 	}
 	f.Add(good)
-	f.Add(appendFragDesc(nil, 1, 1, 0xffff, true, 0xff))   // offset at the bound
-	f.Add(appendFragDesc(nil, 2, 9, 0, false, 0))          // empty final fragment
-	f.Add(append(good, good...))                           // duplicate delivery
+	f.Add(appendFragDesc(nil, 1, 1, 0xffff, true, 0xff)) // offset at the bound
+	f.Add(appendFragDesc(nil, 2, 9, 0, false, 0))        // empty final fragment
+	f.Add(append(good, good...))                         // duplicate delivery
+	// Overlap shapes: a duplicated head whose repeated bytes would complete
+	// a 600-byte datagram with a hole at [400, 500) if overlaps were
+	// double-counted, and a mid-stream overlap plus duplicate that does
+	// legitimately complete.
+	hole := appendFragDesc(nil, 1, 2, 0, true, 400)
+	hole = appendFragDesc(hole, 1, 2, 0, true, 400)
+	hole = appendFragDesc(hole, 1, 2, 500, false, 100)
+	f.Add(hole)
+	overlap := appendFragDesc(nil, 1, 3, 0, true, 400)
+	overlap = appendFragDesc(overlap, 1, 3, 300, true, 200)
+	overlap = appendFragDesc(overlap, 1, 3, 0, true, 400)
+	overlap = appendFragDesc(overlap, 1, 3, 500, false, 100)
+	f.Add(overlap)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := newReassembly()
 		now := sim.Time(0)
@@ -72,10 +88,14 @@ func FuzzFragmentReassembly(f *testing.F) {
 				off = -off
 			}
 			data = data[8:]
+			payload := make([]byte, plen)
+			for i := range payload {
+				payload[i] = fragMarker
+			}
 			pkt := &Packet{
 				Src: src, Dst: src, Proto: ProtoUDP,
 				FragID: id, FragOffset: off, MoreFrags: more,
-				Payload: make([]byte, plen),
+				Payload: payload,
 			}
 			keys[fragKey{src: pkt.Src, id: pkt.FragID}] = true
 			now = now.Add(sim.Microsecond)
@@ -90,6 +110,12 @@ func FuzzFragmentReassembly(f *testing.F) {
 				if waited < 0 {
 					t.Fatalf("negative reassembly latency %v", waited)
 				}
+				for i, v := range whole.Payload {
+					if v != fragMarker {
+						t.Fatalf("reassembled datagram has uncopied byte %#x at offset %d of %d: overlap/duplicate fragments were double-counted",
+							v, i, len(whole.Payload))
+					}
+				}
 			}
 		}
 		if r.Pending() > len(keys) {
@@ -97,6 +123,10 @@ func FuzzFragmentReassembly(f *testing.F) {
 		}
 	})
 }
+
+// fragMarker fills every fuzzed fragment payload; any other byte in a
+// completed datagram is a hole the reassembler failed to detect.
+const fragMarker = 0xA5
 
 // appendFragDesc encodes one fragment descriptor in the fuzz stream format
 // consumed above: src, id, offset(2), flags, length(2), pad.

@@ -26,17 +26,17 @@ func (s *Stack) Graph() string {
 			fmt.Fprintf(&b, "      -> [%s]\n", o)
 		}
 	}
-	// Port tables are handlers too.
-	if len(s.udp.ports) > 0 {
+	// Port tables are handlers too (snapshot loads; safe during traffic).
+	if ports := *s.udp.ports.Load(); len(ports) > 0 {
 		fmt.Fprintf(&b, "  UDP ports:")
-		for p := range s.udp.ports {
+		for p := range ports {
 			fmt.Fprintf(&b, " %d", p)
 		}
 		fmt.Fprintln(&b)
 	}
-	if len(s.tcp.listeners) > 0 {
+	if listeners := *s.tcp.listeners.Load(); len(listeners) > 0 {
 		fmt.Fprintf(&b, "  TCP listeners:")
-		for p := range s.tcp.listeners {
+		for p := range listeners {
 			fmt.Fprintf(&b, " %d", p)
 		}
 		fmt.Fprintln(&b)

@@ -3,11 +3,14 @@ package netstack
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"spin/internal/dispatch"
 	"spin/internal/domain"
 	"spin/internal/sal"
 	"spin/internal/sim"
+	"spin/internal/trace"
 )
 
 // Event names in the protocol graph (Figure 5). Every event carries a
@@ -45,9 +48,41 @@ type DeliveryCost func(clock *sim.Clock, p *Packet)
 // beyond the dispatch already charged.
 func InKernelDelivery(*sim.Clock, *Packet) {}
 
+// RX queue sizing: each attached NIC gets a bounded receive queue; a full
+// queue drops the frame (counted, traced) rather than buffering without
+// bound. rxBatch is how many packets a parallel RX worker dequeues per
+// wakeup.
+const (
+	DefaultRXQueueDepth = 1024
+	rxBatch             = 64
+)
+
+// rxQueue is one NIC's bounded receive queue. The driver upcall enqueues in
+// interrupt context; protocol processing dequeues — either one engine-
+// scheduled step per packet (the deterministic simulation path) or a
+// dedicated worker goroutine draining batches (the parallel path).
+type rxQueue struct {
+	nic       *sal.NIC
+	linkEvent string
+	ch        chan *Packet
+	accepted  atomic.Int64
+	dropped   atomic.Int64
+}
+
 // Stack is one machine's protocol stack. It attaches NIC drivers at the
 // bottom, defines the protocol-graph events on the machine's dispatcher,
 // and hosts the UDP/TCP port tables.
+//
+// Concurrency model (mirrors the dispatcher's): the per-packet receive path
+// is lock-free. The route table, UDP port table and TCP connection/listener
+// tables are immutable snapshots behind atomic pointers; writers (AddRoute,
+// Bind, Listen, connection setup/teardown) serialize on a mutex, copy, and
+// swap. Counters are atomics, so Stats totals are exact under parallel
+// delivery. Fragment reassembly is sharded by fragment key with one small
+// lock per shard. The only part of the stack that must stay on the
+// simulation goroutine is the engine itself (timers, NIC sends): parallel
+// RX workers may push packets up the graph concurrently as long as the
+// installed handlers do not transmit or arm timers.
 type Stack struct {
 	Host    string
 	IP      IPAddr
@@ -56,21 +91,33 @@ type Stack struct {
 	profile *sim.Profile
 	disp    *dispatch.Dispatcher
 
-	// routes maps destination address -> outbound NIC.
-	routes map[IPAddr]*sal.NIC
+	// mu serializes stack-table writers (AddRoute, Attach). The receive
+	// path never takes it.
+	mu sync.Mutex
+	// routes maps destination address -> outbound NIC (copy-on-write).
+	routes atomic.Pointer[map[IPAddr]*sal.NIC]
 	// defaultNIC carries packets with no specific route.
-	defaultNIC *sal.NIC
+	defaultNIC atomic.Pointer[sal.NIC]
+
+	// rxqs is the copy-on-write list of per-NIC receive queues, in Attach
+	// order.
+	rxqs atomic.Pointer[[]*rxQueue]
+	// workersOn is set while StartRXWorkers' goroutines drain the queues
+	// (the engine-scheduled drain steps are suppressed).
+	workersOn  atomic.Bool
+	workerStop chan struct{}
+	workerWg   sync.WaitGroup
 
 	udp *UDP
 	tcp *TCP
 
 	// fragID numbers outbound fragmented datagrams; reasm collects
 	// inbound fragments.
-	fragID uint32
+	fragID uint32 // accessed atomically
 	reasm  *reassembly
 
-	received int64
-	sent     int64
+	received atomic.Int64
+	sent     atomic.Int64
 }
 
 // NewStack builds a protocol stack on the machine's dispatcher and defines
@@ -83,9 +130,12 @@ func NewStack(host string, ip IPAddr, engine *sim.Engine, profile *sim.Profile, 
 		clock:   engine.Clock,
 		profile: profile,
 		disp:    disp,
-		routes:  make(map[IPAddr]*sal.NIC),
 		reasm:   newReassembly(),
 	}
+	emptyRoutes := make(map[IPAddr]*sal.NIC)
+	s.routes.Store(&emptyRoutes)
+	emptyQueues := []*rxQueue(nil)
+	s.rxqs.Store(&emptyQueues)
 	// The IP module is the default implementation module for
 	// IP.PacketArrived: its authorizer hands each installer a guard
 	// comparing the packet's protocol type against what the handler may
@@ -163,34 +213,176 @@ func (s *Stack) Clock() *sim.Clock { return s.clock }
 func (s *Stack) Profile() *sim.Profile { return s.profile }
 
 // Attach connects a NIC as a driver at the bottom of the graph. The first
-// attached NIC becomes the default route. Incoming frames are handed to a
-// separately scheduled protocol-processing step (one context switch), then
-// pushed up through the event graph.
+// attached NIC becomes the default route. Incoming frames land in the NIC's
+// bounded RX queue; protocol processing drains the queue in a separately
+// scheduled kernel thread (one context switch per packet, paper §5.3). A
+// full queue drops the frame — explicit backpressure, never unbounded
+// buffering.
 func (s *Stack) Attach(nic *sal.NIC) {
-	if s.defaultNIC == nil {
-		s.defaultNIC = nic
+	s.mu.Lock()
+	if s.defaultNIC.Load() == nil {
+		s.defaultNIC.Store(nic)
 	}
 	linkEvent := EvEtherArrived
 	if nic.Model.CellSize > 0 {
 		linkEvent = EvATMArrived
 	}
-	nic.OnReceive = func(f sal.NetFrame) {
+	q := &rxQueue{nic: nic, linkEvent: linkEvent, ch: make(chan *Packet, DefaultRXQueueDepth)}
+	old := *s.rxqs.Load()
+	next := make([]*rxQueue, len(old)+1)
+	copy(next, old)
+	next[len(old)] = q
+	s.rxqs.Store(&next)
+	s.mu.Unlock()
+	nic.OnReceive = func(f sal.NetFrame) bool {
 		pkt, ok := f.Payload.(*Packet)
 		if !ok {
-			return
+			return false
 		}
-		// Protocol processing runs in a separately scheduled kernel
-		// thread outside the interrupt handler (paper §5.3).
-		s.engine.After(0, func() {
-			s.clock.Advance(s.profile.ContextSwitch)
-			s.receive(linkEvent, pkt)
-		})
+		return s.enqueueRX(q, pkt)
 	}
+}
+
+// enqueueRX places one packet on a NIC's receive queue. In simulation mode
+// it also schedules the matching drain step (so per-packet virtual timing is
+// identical to a directly scheduled receive); in worker mode the queue's
+// worker goroutine picks the packet up. A full queue drops the packet and
+// counts it.
+func (s *Stack) enqueueRX(q *rxQueue, pkt *Packet) bool {
+	select {
+	case q.ch <- pkt:
+		q.accepted.Add(1)
+		if !s.workersOn.Load() {
+			// Protocol processing runs in a separately scheduled kernel
+			// thread outside the interrupt handler (paper §5.3).
+			s.engine.After(0, func() { s.drainRX(q, 1) })
+		}
+		return true
+	default:
+		q.dropped.Add(1)
+		if tr := s.disp.Tracer(); tr != nil {
+			tr.Trace(trace.Record{Event: "net.rx.dropped", Origin: "net", Start: s.clock.Now()})
+		}
+		return false
+	}
+}
+
+// drainRX dequeues up to max packets and pushes each up the graph, charging
+// the protocol-thread context switch per packet. It returns how many ran.
+func (s *Stack) drainRX(q *rxQueue, max int) int {
+	n := 0
+	for n < max {
+		select {
+		case pkt := <-q.ch:
+			s.clock.Advance(s.profile.ContextSwitch)
+			s.receive(q.linkEvent, pkt)
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// StartRXWorkers switches the stack to parallel receive: one goroutine per
+// attached NIC drains that NIC's queue in batches of up to rxBatch,
+// replacing the engine-scheduled per-packet drains. The receive path itself
+// is lock-free (COW tables, sharded reassembly, atomic counters), so
+// workers push packets up the graph fully in parallel.
+//
+// Restriction: handlers reached from a worker must not transmit or arm
+// timers — the simulation engine's queue is single-threaded. Pure consumers
+// (Sink, bound UDP handlers, filters) are safe. Tests and benchmarks inject
+// packets with InjectRX; NIC interrupt delivery stays on the engine. Attach
+// every NIC before starting workers: queues attached later are not drained
+// until workers are restarted.
+func (s *Stack) StartRXWorkers() {
+	if s.workersOn.Swap(true) {
+		return // already running
+	}
+	s.workerStop = make(chan struct{})
+	stop := s.workerStop
+	for _, q := range *s.rxqs.Load() {
+		q := q
+		s.workerWg.Add(1)
+		go func() {
+			defer s.workerWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case pkt := <-q.ch:
+					s.clock.Advance(s.profile.ContextSwitch)
+					s.receive(q.linkEvent, pkt)
+					// Batch: drain what else accumulated before blocking
+					// again.
+					s.drainRX(q, rxBatch-1)
+				}
+			}
+		}()
+	}
+}
+
+// StopRXWorkers stops the parallel RX workers and waits for them to exit.
+// Packets still queued are left in place (the next drain — engine or worker
+// — picks them up).
+func (s *Stack) StopRXWorkers() {
+	if !s.workersOn.Load() {
+		return
+	}
+	close(s.workerStop)
+	s.workerWg.Wait()
+	s.workersOn.Store(false)
+}
+
+// InjectRX enqueues pkt directly on the nicIndex'th attached NIC's receive
+// queue, bypassing the wire — the entry point for parallel RX tests and
+// benchmarks (safe from any goroutine once StartRXWorkers is running). It
+// reports false if the queue was full and the packet dropped.
+func (s *Stack) InjectRX(nicIndex int, pkt *Packet) bool {
+	qs := *s.rxqs.Load()
+	if nicIndex < 0 || nicIndex >= len(qs) {
+		return false
+	}
+	return s.enqueueRX(qs[nicIndex], pkt)
+}
+
+// RXStats sums the per-NIC receive-queue counters: packets accepted into a
+// queue and packets dropped at a full queue.
+func (s *Stack) RXStats() (accepted, dropped int64) {
+	for _, q := range *s.rxqs.Load() {
+		accepted += q.accepted.Load()
+		dropped += q.dropped.Load()
+	}
+	return accepted, dropped
+}
+
+// ReassemblyStats reports datagrams awaiting fragments and partial buffers
+// evicted by the TTL sweep or the pending cap.
+func (s *Stack) ReassemblyStats() (pending int, evicted int64) {
+	return s.reasm.Pending(), s.reasm.Evicted()
 }
 
 // AddRoute directs packets for dst out through nic.
 func (s *Stack) AddRoute(dst IPAddr, nic *sal.NIC) {
-	s.routes[dst] = nic
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.routes.Load()
+	next := make(map[IPAddr]*sal.NIC, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[dst] = nic
+	s.routes.Store(&next)
+}
+
+// routeFor resolves the outbound NIC for dst: the specific route if one is
+// installed, else the default NIC. Lock-free.
+func (s *Stack) routeFor(dst IPAddr) *sal.NIC {
+	if nic := (*s.routes.Load())[dst]; nic != nil {
+		return nic
+	}
+	return s.defaultNIC.Load()
 }
 
 // receive pushes one packet up the graph, timing the whole inbound path
@@ -208,7 +400,7 @@ func (s *Stack) receive(linkEvent string, pkt *Packet) {
 }
 
 func (s *Stack) receive1(linkEvent string, pkt *Packet) {
-	s.received++
+	s.received.Add(1)
 	// Link layer processing + event.
 	s.clock.Advance(s.profile.ProtoLayer)
 	if claimed, _ := s.disp.Raise(linkEvent, pkt).(bool); claimed {
@@ -267,10 +459,7 @@ func (s *Stack) SendIP(pkt *Packet) error {
 	if pkt.TTL == 0 {
 		pkt.TTL = 32
 	}
-	nic := s.routes[pkt.Dst]
-	if nic == nil {
-		nic = s.defaultNIC
-	}
+	nic := s.routeFor(pkt.Dst)
 	if nic == nil {
 		return ErrNoRoute
 	}
@@ -278,7 +467,7 @@ func (s *Stack) SendIP(pkt *Packet) error {
 	// over the payload.
 	s.clock.Advance(2 * s.profile.ProtoLayer)
 	s.clock.Advance(sim.Duration(len(pkt.Payload)) * ChecksumPerByte)
-	s.sent++
+	s.sent.Add(1)
 	if mtu := mtuFor(nic); pkt.WireSize()-EtherHeader > mtu {
 		return s.sendFragmented(pkt, nic, mtu)
 	}
@@ -309,5 +498,6 @@ func (s *Stack) Ping(dst IPAddr, seq uint16, payload int, cb func(rtt sim.Durati
 	})
 }
 
-// Stats reports packets received and sent at the IP layer.
-func (s *Stack) Stats() (received, sent int64) { return s.received, s.sent }
+// Stats reports packets received and sent at the IP layer. Counters are
+// atomics; totals are exact under parallel delivery.
+func (s *Stack) Stats() (received, sent int64) { return s.received.Load(), s.sent.Load() }

@@ -3,6 +3,8 @@ package netstack
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"spin/internal/sim"
 )
@@ -116,37 +118,85 @@ type Listener struct {
 // TCP is the stack's TCP module. The paper notes SPIN used the DEC OSF/1
 // TCP engine as a kernel-asserted extension; here the engine is implemented
 // natively, which only strengthens the reproduction.
+//
+// The connection and listener tables are copy-on-write snapshots behind
+// atomic pointers: deliver's per-segment lookup is lock-free; writers
+// (Listen, Unlisten, Connect, connection setup/teardown) copy under a
+// mutex and swap. Individual Conn state machines remain single-threaded —
+// segments for one connection must be delivered from the simulation
+// goroutine, since handling them transmits and arms timers.
 type TCP struct {
-	stack     *Stack
-	conns     map[connKey]*Conn
-	listeners map[uint16]*Listener
-	nextPort  uint16
+	stack *Stack
+
+	// mu serializes table writers and the ephemeral-port scan.
+	mu        sync.Mutex
+	conns     atomic.Pointer[map[connKey]*Conn]
+	listeners atomic.Pointer[map[uint16]*Listener]
+	nextPort  uint16 // guarded by mu
 }
 
 func newTCP(s *Stack) *TCP {
-	return &TCP{
-		stack:     s,
-		conns:     make(map[connKey]*Conn),
-		listeners: make(map[uint16]*Listener),
-		nextPort:  30000,
+	t := &TCP{stack: s, nextPort: 30000}
+	emptyConns := make(map[connKey]*Conn)
+	t.conns.Store(&emptyConns)
+	emptyListeners := make(map[uint16]*Listener)
+	t.listeners.Store(&emptyListeners)
+	return t
+}
+
+// storeConn publishes a new conns snapshot with key -> c added (or removed
+// when c is nil). Callers hold t.mu.
+func (t *TCP) storeConn(key connKey, c *Conn) {
+	old := *t.conns.Load()
+	next := make(map[connKey]*Conn, len(old)+1)
+	for k, v := range old {
+		next[k] = v
 	}
+	if c == nil {
+		delete(next, key)
+	} else {
+		next[key] = c
+	}
+	t.conns.Store(&next)
 }
 
 // Listen accepts connections on port; accept runs when a connection reaches
 // ESTABLISHED.
 func (t *TCP) Listen(port uint16, cost DeliveryCost, accept func(*Conn)) error {
-	if _, dup := t.listeners[port]; dup {
-		return fmt.Errorf("netstack: TCP port %d in use", port)
-	}
 	if cost == nil {
 		cost = InKernelDelivery
 	}
-	t.listeners[port] = &Listener{port: port, cost: cost, accept: accept}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.listeners.Load()
+	if _, dup := old[port]; dup {
+		return fmt.Errorf("netstack: TCP port %d in use", port)
+	}
+	next := make(map[uint16]*Listener, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[port] = &Listener{port: port, cost: cost, accept: accept}
+	t.listeners.Store(&next)
 	return nil
 }
 
 // Unlisten stops accepting on port.
-func (t *TCP) Unlisten(port uint16) { delete(t.listeners, port) }
+func (t *TCP) Unlisten(port uint16) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.listeners.Load()
+	if _, ok := old[port]; !ok {
+		return
+	}
+	next := make(map[uint16]*Listener, len(old))
+	for k, v := range old {
+		if k != port {
+			next[k] = v
+		}
+	}
+	t.listeners.Store(&next)
+}
 
 // Connect opens a connection to dst:port. The returned Conn is in SYN_SENT;
 // OnConnect fires at ESTABLISHED.
@@ -154,7 +204,8 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 	if cost == nil {
 		cost = InKernelDelivery
 	}
-	local := t.ephemeralPort()
+	t.mu.Lock()
+	local := t.ephemeralPortLocked()
 	c := &Conn{
 		tcp: t, state: StateSynSent,
 		remote: dst, localPort: local, remotePort: port,
@@ -162,18 +213,24 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 		delivery: cost,
 		sndUna:   100, sndNxt: 100,
 	}
-	t.conns[connKey{dst, port, local}] = c
+	t.storeConn(connKey{dst, port, local}, c)
+	t.mu.Unlock()
 	c.sendSeg(&Packet{Flags: FlagSYN, Seq: c.sndNxt, Window: rcvWindow})
 	c.sndNxt++
 	c.armRetx()
 	return c, nil
 }
 
-func (t *TCP) ephemeralPort() uint16 {
+// ephemeralPortLocked picks a free local port. Callers hold t.mu.
+func (t *TCP) ephemeralPortLocked() uint16 {
+	conns := *t.conns.Load()
 	for {
 		t.nextPort++
+		if t.nextPort < 30000 {
+			t.nextPort = 30000 // wrapped uint16: stay out of the low range
+		}
 		free := true
-		for k := range t.conns {
+		for k := range conns {
 			if k.localPort == t.nextPort {
 				free = false
 				break
@@ -351,12 +408,12 @@ func (t *TCP) deliver(pkt *Packet) {
 
 func (t *TCP) deliver1(pkt *Packet) {
 	key := connKey{pkt.Src, pkt.SrcPort, pkt.DstPort}
-	if c, ok := t.conns[key]; ok {
+	if c, ok := (*t.conns.Load())[key]; ok {
 		c.handle(pkt)
 		return
 	}
 	// New connection? Must be a SYN to a listener.
-	l, ok := t.listeners[pkt.DstPort]
+	l, ok := (*t.listeners.Load())[pkt.DstPort]
 	if !ok || pkt.Flags&FlagSYN == 0 || pkt.Flags&FlagACK != 0 {
 		if pkt.Flags&FlagRST == 0 {
 			t.reset(pkt)
@@ -372,7 +429,15 @@ func (t *TCP) deliver1(pkt *Packet) {
 		sndUna:   1000, sndNxt: 1000,
 		rcvNxt: pkt.Seq + 1,
 	}
-	t.conns[key] = c
+	t.mu.Lock()
+	if _, raced := (*t.conns.Load())[key]; raced {
+		// A concurrent delivery of the same SYN already set the
+		// connection up; its SYN-ACK is on the way.
+		t.mu.Unlock()
+		return
+	}
+	t.storeConn(key, c)
+	t.mu.Unlock()
 	c.acceptCb = l.accept
 	c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
 	c.sndNxt++
@@ -536,11 +601,13 @@ func (c *Conn) teardown() {
 	c.cancelRetx()
 	prev := c.state
 	c.state = StateClosed
-	delete(c.tcp.conns, connKey{c.remote, c.remotePort, c.localPort})
+	c.tcp.mu.Lock()
+	c.tcp.storeConn(connKey{c.remote, c.remotePort, c.localPort}, nil)
+	c.tcp.mu.Unlock()
 	if c.OnClose != nil && prev != StateCloseWait {
 		c.OnClose(c)
 	}
 }
 
 // Conns reports the number of live connections (tests).
-func (t *TCP) Conns() int { return len(t.conns) }
+func (t *TCP) Conns() int { return len(*t.conns.Load()) }

@@ -136,13 +136,13 @@ func TestUDPIsLossyByDesign(t *testing.T) {
 		_ = a.stack.UDP().Send(1, Addr(10, 0, 0, 2), 9, make([]byte, 64))
 	}
 	cl.Run(0)
-	if sink.Packets == n {
+	if sink.Packets() == n {
 		t.Error("no datagrams lost at 50% injected loss")
 	}
-	if sink.Packets == 0 {
+	if sink.Packets() == 0 {
 		t.Error("all datagrams lost at 50% injected loss")
 	}
-	if a.nic.Dropped()+sink.Packets != n {
-		t.Errorf("drops (%d) + delivered (%d) != sent (%d)", a.nic.Dropped(), sink.Packets, n)
+	if a.nic.Dropped()+sink.Packets() != n {
+		t.Errorf("drops (%d) + delivered (%d) != sent (%d)", a.nic.Dropped(), sink.Packets(), n)
 	}
 }

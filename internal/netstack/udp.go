@@ -1,7 +1,10 @@
 package netstack
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"spin/internal/sim"
 )
@@ -12,10 +15,19 @@ type UDPHandler func(pkt *Packet)
 // UDP is the stack's UDP module: a port table with handler endpoints. SPIN
 // endpoints are in-kernel handlers (procedure-call delivery); the baselines
 // wrap handlers in socket-cost shims.
+//
+// The port table is a copy-on-write snapshot behind an atomic pointer:
+// deliver — the per-packet path — is one lock-free load; Bind/Unbind copy
+// the map under a writer mutex and swap. Concurrent Bind/Unbind/deliver is
+// race-free; a delivery in flight sees either the old or the new table.
 type UDP struct {
 	stack *Stack
-	ports map[uint16]udpBinding
-	next  uint16
+
+	// mu serializes writers (Bind, Unbind, EphemeralPort's cursor).
+	mu    sync.Mutex
+	ports atomic.Pointer[map[uint16]udpBinding]
+	// cursor is the next ephemeral-port offset to try, guarded by mu.
+	cursor int
 }
 
 type udpBinding struct {
@@ -24,33 +36,76 @@ type udpBinding struct {
 }
 
 func newUDP(s *Stack) *UDP {
-	return &UDP{stack: s, ports: make(map[uint16]udpBinding), next: 20000}
+	u := &UDP{stack: s}
+	empty := make(map[uint16]udpBinding)
+	u.ports.Store(&empty)
+	return u
 }
 
 // Bind installs handler as the endpoint for port. cost models the delivery
 // path (InKernelDelivery for SPIN extensions).
 func (u *UDP) Bind(port uint16, cost DeliveryCost, h UDPHandler) error {
-	if _, dup := u.ports[port]; dup {
-		return fmt.Errorf("netstack: UDP port %d in use", port)
-	}
 	if cost == nil {
 		cost = InKernelDelivery
 	}
-	u.ports[port] = udpBinding{h: h, cost: cost}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	old := *u.ports.Load()
+	if _, dup := old[port]; dup {
+		return fmt.Errorf("netstack: UDP port %d in use", port)
+	}
+	next := make(map[uint16]udpBinding, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[port] = udpBinding{h: h, cost: cost}
+	u.ports.Store(&next)
 	return nil
 }
 
 // Unbind releases port.
-func (u *UDP) Unbind(port uint16) { delete(u.ports, port) }
-
-// EphemeralPort returns a fresh high port.
-func (u *UDP) EphemeralPort() uint16 {
-	for {
-		u.next++
-		if _, used := u.ports[u.next]; !used {
-			return u.next
+func (u *UDP) Unbind(port uint16) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	old := *u.ports.Load()
+	if _, ok := old[port]; !ok {
+		return
+	}
+	next := make(map[uint16]udpBinding, len(old))
+	for k, v := range old {
+		if k != port {
+			next[k] = v
 		}
 	}
+	u.ports.Store(&next)
+}
+
+// Ephemeral ports are allocated from [EphemeralMin, EphemeralMax]; the
+// allocator never wraps into the well-known range (a uint16 increment past
+// 65535 lands on port 0).
+const (
+	EphemeralMin = 20000
+	EphemeralMax = 65535
+)
+
+// ErrPortsExhausted reports that every ephemeral port is bound.
+var ErrPortsExhausted = errors.New("netstack: ephemeral UDP ports exhausted")
+
+// EphemeralPort returns a fresh high port in [EphemeralMin, EphemeralMax],
+// or ErrPortsExhausted when every port in the range is bound.
+func (u *UDP) EphemeralPort() (uint16, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ports := *u.ports.Load()
+	const span = EphemeralMax - EphemeralMin + 1
+	for i := 0; i < span; i++ {
+		p := uint16(EphemeralMin + (u.cursor+i)%span)
+		if _, used := ports[p]; !used {
+			u.cursor = (u.cursor + i + 1) % span
+			return p, nil
+		}
+	}
+	return 0, ErrPortsExhausted
 }
 
 // Send transmits a datagram.
@@ -64,9 +119,9 @@ func (u *UDP) Send(srcPort uint16, dst IPAddr, dstPort uint16, payload []byte) e
 }
 
 // deliver hands a datagram to its bound endpoint (after graph handlers
-// declined to claim it).
+// declined to claim it). Lock-free: one atomic load of the port table.
 func (u *UDP) deliver(pkt *Packet) {
-	b, ok := u.ports[pkt.DstPort]
+	b, ok := (*u.ports.Load())[pkt.DstPort]
 	if !ok {
 		return // port unreachable; silently dropped in this model
 	}
@@ -90,17 +145,24 @@ func (u *UDP) Echo(port uint16, cost DeliveryCost) error {
 func (u *UDP) Sink(port uint16, cost DeliveryCost) (*SinkStats, error) {
 	st := &SinkStats{}
 	err := u.Bind(port, cost, func(pkt *Packet) {
-		st.Packets++
-		st.Bytes += int64(len(pkt.Payload))
+		st.packets.Add(1)
+		st.bytes.Add(int64(len(pkt.Payload)))
 	})
 	return st, err
 }
 
-// SinkStats counts sink deliveries.
+// SinkStats counts sink deliveries. Counters are atomics, so counts are
+// exact when deliveries arrive from parallel RX workers.
 type SinkStats struct {
-	Packets int64
-	Bytes   int64
+	packets atomic.Int64
+	bytes   atomic.Int64
 }
+
+// Packets reports datagrams delivered to the sink.
+func (st *SinkStats) Packets() int64 { return st.packets.Load() }
+
+// Bytes reports payload bytes delivered to the sink.
+func (st *SinkStats) Bytes() int64 { return st.bytes.Load() }
 
 // Flood sends n payload-sized datagrams back to back — the bandwidth
 // benchmark's sender half. Returns virtual time consumed at the sender.

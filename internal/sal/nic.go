@@ -149,8 +149,11 @@ type NIC struct {
 	txFreeAt sim.Time
 
 	// OnReceive is the driver receive upcall, called in interrupt context
-	// after the driver receive cost has been charged.
-	OnReceive func(NetFrame)
+	// after the driver receive cost has been charged. It reports whether
+	// the frame was accepted; a false return means the protocol stack's
+	// bounded RX queue was full (backpressure) and the NIC counts the
+	// frame as dropped on receive.
+	OnReceive func(NetFrame) bool
 
 	// lossRate drops outbound frames with the given probability, using a
 	// deterministic PRNG — fault injection for protocol robustness tests.
@@ -161,6 +164,7 @@ type NIC struct {
 	bytesSent      int64
 	bytesReceived  int64
 	dropped        int64
+	rxDropped      int64
 }
 
 // InjectLoss makes the NIC drop outbound frames with probability p,
@@ -172,6 +176,10 @@ func (n *NIC) InjectLoss(p float64, seed uint64) {
 
 // Dropped reports frames lost to injection.
 func (n *NIC) Dropped() int64 { return n.dropped }
+
+// RXDropped reports received frames the driver upcall refused — arrivals
+// that found the stack's bounded RX queue full.
+func (n *NIC) RXDropped() int64 { return n.rxDropped }
 
 // NewNIC creates an interface of the given model on the machine described
 // by engine/ic, delivering receive interrupts on vector.
@@ -189,8 +197,8 @@ func NewNIC(model NICModel, engine *sim.Engine, ic *InterruptController, vector 
 		n.clock.Advance(n.Model.hostMoveCost(f.Size))
 		n.received++
 		n.bytesReceived += int64(f.Size)
-		if n.OnReceive != nil {
-			n.OnReceive(f)
+		if n.OnReceive != nil && !n.OnReceive(f) {
+			n.rxDropped++
 		}
 	})
 	return n

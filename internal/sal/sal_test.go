@@ -292,7 +292,7 @@ func TestNICSendReceive(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got NetFrame
-	b.nic.OnReceive = func(f NetFrame) { got = f }
+	b.nic.OnReceive = func(f NetFrame) bool { got = f; return true }
 	if err := a.nic.Send(NetFrame{Size: 100, Payload: "ping"}); err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestNICTransmitterSerializes(t *testing.T) {
 	a, b := newHost(LanceModel), newHost(LanceModel)
 	_ = Connect(a.nic, b.nic)
 	var arrivals []sim.Time
-	b.nic.OnReceive = func(NetFrame) { arrivals = append(arrivals, b.eng.Now()) }
+	b.nic.OnReceive = func(NetFrame) bool { arrivals = append(arrivals, b.eng.Now()); return true }
 	_ = a.nic.Send(NetFrame{Size: 1500})
 	_ = a.nic.Send(NetFrame{Size: 1500})
 	sim.NewCluster(a.eng, b.eng).Run(0)
