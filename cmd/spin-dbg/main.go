@@ -26,8 +26,8 @@ func main() {
 	flag.Parse()
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
-			"stats TCP.PktArrived", "perf", "trace", "histo", "tlb", "mem",
-			"frame 300", "uptime"}
+			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "tlb",
+			"mem", "frame 300", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)

@@ -16,20 +16,24 @@ import (
 	"strings"
 
 	"spin"
+	"spin/internal/dispatch"
 	"spin/internal/fs"
+	"spin/internal/netdbg"
 	"spin/internal/netstack"
 	"spin/internal/sal"
 	"spin/internal/sim"
 	"spin/internal/trace"
 )
 
-// debugContent layers the kernel's tracing endpoints over the document
-// tree: GET /debug/trace returns the dispatch ring, GET /debug/histo the
-// latency histograms — up-to-date performance information served by the
-// same in-kernel HTTP extension that serves documents (paper §3.2).
+// debugContent layers the kernel's introspection endpoints over the
+// document tree: GET /debug/trace returns the dispatch ring, GET
+// /debug/histo the latency histograms, GET /debug/faults the fault-
+// containment and quarantine state — up-to-date kernel information served
+// by the same in-kernel HTTP extension that serves documents (paper §3.2).
 type debugContent struct {
 	docs   netstack.HTTPContent
 	tracer *trace.Tracer
+	disp   *dispatch.Dispatcher
 }
 
 func (d debugContent) Get(path string) ([]byte, bool) {
@@ -38,6 +42,8 @@ func (d debugContent) Get(path string) ([]byte, bool) {
 		return []byte(d.tracer.Dump()), true
 	case "/debug/histo":
 		return []byte(d.tracer.DumpHisto()), true
+	case "/debug/faults":
+		return []byte(netdbg.FaultReport(d.disp)), true
 	}
 	return d.docs.Get(path)
 }
@@ -81,7 +87,7 @@ func run(requests int) error {
 	cache := fs.NewWebCache(server.FS, 256<<10, 64<<10)
 	tracer := server.EnableTracing(1024)
 	if _, err := netstack.NewHTTPServer(server.Stack, 80, netstack.InKernelDelivery,
-		debugContent{docs: cache, tracer: tracer}); err != nil {
+		debugContent{docs: cache, tracer: tracer, disp: server.Dispatcher}); err != nil {
 		return err
 	}
 
@@ -134,6 +140,6 @@ func run(requests int) error {
 	if !cluster.RunUntil(func() bool { return got }, 0) {
 		return fmt.Errorf("/debug/histo request never completed")
 	}
-	fmt.Printf("\nGET /debug/histo (also available: /debug/trace):\n%s", histo)
+	fmt.Printf("\nGET /debug/histo (also available: /debug/trace, /debug/faults):\n%s", histo)
 	return nil
 }

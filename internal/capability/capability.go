@@ -32,6 +32,7 @@ var (
 type entry struct {
 	obj     any
 	kind    string
+	owner   string
 	revoked bool
 }
 
@@ -54,6 +55,14 @@ func NewTable() *Table {
 // against an application passing a valid index to a service expecting a
 // different resource type.
 func (t *Table) Externalize(kind string, obj any) (ExternRef, error) {
+	return t.ExternalizeOwned("", kind, obj)
+}
+
+// ExternalizeOwned is Externalize with a recorded owner — the principal
+// (extension, domain) on whose behalf the reference was issued. Owned
+// references are revoked wholesale by RevokeOwner when the owner's domain
+// is destroyed.
+func (t *Table) ExternalizeOwned(owner, kind string, obj any) (ExternRef, error) {
 	if obj == nil {
 		return 0, ErrNilExtern
 	}
@@ -61,7 +70,7 @@ func (t *Table) Externalize(kind string, obj any) (ExternRef, error) {
 	defer t.mu.Unlock()
 	ref := t.next
 	t.next++
-	t.entries[ref] = &entry{obj: obj, kind: kind}
+	t.entries[ref] = &entry{obj: obj, kind: kind, owner: owner}
 	return ref, nil
 }
 
@@ -99,6 +108,42 @@ func (t *Table) Drop(ref ExternRef) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.entries, ref)
+}
+
+// RevokeOwner invalidates every reference issued on behalf of owner —
+// crash-only teardown's capability step: the kernel withdraws a destroyed
+// domain's whole footprint without trusting anyone to enumerate it. Indexes
+// are not reused; stale holders get ErrRevoked, exactly as with Revoke. It
+// returns the number of references revoked.
+func (t *Table) RevokeOwner(owner string) int {
+	if owner == "" {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if e.owner == owner && !e.revoked {
+			e.revoked = true
+			e.obj = nil
+			n++
+		}
+	}
+	return n
+}
+
+// LiveFor reports how many unrevoked references owner still holds — zero
+// after a successful teardown.
+func (t *Table) LiveFor(owner string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if e.owner == owner && !e.revoked {
+			n++
+		}
+	}
+	return n
 }
 
 // Len reports the number of live (including revoked) entries.

@@ -122,3 +122,40 @@ func TestExternalizeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRevokeOwnerSweepsPrincipal(t *testing.T) {
+	tab := NewTable()
+	var owned []ExternRef
+	for i := 0; i < 3; i++ {
+		ref, err := tab.ExternalizeOwned("ext", "X", &page{frame: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned = append(owned, ref)
+	}
+	other, _ := tab.Externalize("X", &page{frame: 99}) // anonymous: untouched
+	if n := tab.LiveFor("ext"); n != 3 {
+		t.Fatalf("LiveFor = %d, want 3", n)
+	}
+	if n := tab.RevokeOwner("ext"); n != 3 {
+		t.Fatalf("RevokeOwner = %d, want 3", n)
+	}
+	for _, ref := range owned {
+		if _, err := tab.Recover("X", ref); !errors.Is(err, ErrRevoked) {
+			t.Errorf("Recover(%d) = %v, want ErrRevoked", ref, err)
+		}
+	}
+	if _, err := tab.Recover("X", other); err != nil {
+		t.Errorf("unowned reference also revoked: %v", err)
+	}
+	if n := tab.LiveFor("ext"); n != 0 {
+		t.Errorf("LiveFor = %d after revoke, want 0", n)
+	}
+	// Idempotent, and the empty owner never matches anything.
+	if n := tab.RevokeOwner("ext"); n != 0 {
+		t.Errorf("second RevokeOwner = %d, want 0", n)
+	}
+	if n := tab.RevokeOwner(""); n != 0 {
+		t.Errorf(`RevokeOwner("") = %d, want 0 (anonymous refs are not an owner)`, n)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"spin/internal/domain"
+	"spin/internal/faultinject"
 	"spin/internal/sim"
 	"spin/internal/trace"
 )
@@ -112,6 +113,18 @@ type handlerEntry struct {
 	primary bool
 	id      int
 	event   string
+	// faults and overruns are the handler's lifetime misbehaviour
+	// counters, shared by pointer across snapshot copies so an AddGuard
+	// replacement does not reset a handler's quarantine budget.
+	faults   *atomic.Int64
+	overruns *atomic.Int64
+}
+
+// newHandlerEntry allocates an entry with fresh misbehaviour counters.
+func newHandlerEntry(e handlerEntry) *handlerEntry {
+	e.faults = new(atomic.Int64)
+	e.overruns = new(atomic.Int64)
+	return &e
 }
 
 // withGuard returns a copy of e with g appended to its guard chain.
@@ -148,6 +161,7 @@ type eventState struct {
 	snap   atomic.Pointer[eventSnapshot]
 	raises atomic.Int64
 	aborts atomic.Int64
+	faults atomic.Int64
 	nextID int
 }
 
@@ -172,11 +186,28 @@ type Dispatcher struct {
 	faultMu   sync.Mutex
 	lastFault string
 
+	// Quarantine policy: a handler whose lifetime fault count reaches
+	// qFaultThreshold, or whose time-bound-overrun count reaches
+	// qOverrunBudget, is atomically unlinked from its event (the event
+	// falls back to its primary). Zero disables that dimension.
+	qFaultThreshold atomic.Int64
+	qOverrunBudget  atomic.Int64
+	// qmu guards the quarantine log; onQuarantine is the notification
+	// callback (invoked outside all dispatcher locks).
+	qmu          sync.Mutex
+	quarantined  []QuarantineRecord
+	onQuarantine atomic.Pointer[func(QuarantineRecord)]
+
 	// tracer, when non-nil, receives a trace record and latency samples
 	// for every raise. Disabled tracing costs the read path exactly one
 	// predictable-nil atomic load; enabling/disabling is one pointer swap
 	// and raises in flight keep the tracer they loaded.
 	tracer atomic.Pointer[trace.Tracer]
+
+	// injector, when non-nil, is consulted at the "dispatch.invoke" fault-
+	// injection site on every handler invocation. Same cost discipline as
+	// the tracer: disabled is one predictable-nil load.
+	injector atomic.Pointer[faultinject.Injector]
 }
 
 // New returns a dispatcher charging costs from profile against the engine's
@@ -237,13 +268,13 @@ func (d *Dispatcher) Define(name string, opts DefineOptions) error {
 	}
 	st := &eventState{name: name}
 	if opts.Primary != nil {
-		snap.handlers = append(snap.handlers, &handlerEntry{
+		snap.handlers = append(snap.handlers, newHandlerEntry(handlerEntry{
 			handler: opts.Primary,
 			closure: opts.PrimaryClosure,
 			primary: true,
 			id:      st.nextID,
 			event:   name,
-		})
+		}))
 		st.nextID++
 	}
 	st.snap.Store(snap)
@@ -302,14 +333,14 @@ func (d *Dispatcher) Install(event string, h Handler, opts InstallOptions) (Hand
 	if opts.Guard != nil {
 		guards = append(guards, opts.Guard)
 	}
-	e := &handlerEntry{
+	e := newHandlerEntry(handlerEntry{
 		handler: h,
 		guards:  guards,
 		closure: opts.Closure,
 		owner:   opts.Installer,
 		id:      st.nextID,
 		event:   event,
-	}
+	})
 	st.nextID++
 	ns := snap.clone()
 	ns.handlers = append(ns.handlers, e)
@@ -423,7 +454,7 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 		e := snap.handlers[0]
 		d.clock.Advance(d.profile.CrossDomainCall)
 		if tr == nil {
-			res, aborted, _ := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+			res, aborted, _ := d.invokeBounded(st, snap.constraint.TimeBound, e, arg)
 			if aborted {
 				st.aborts.Add(1)
 				return nil
@@ -431,7 +462,7 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 			return res
 		}
 		start := d.clock.Now()
-		res, aborted, faulted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		res, aborted, faulted := d.invokeBounded(st, snap.constraint.TimeBound, e, arg)
 		dur := d.clock.Now().Sub(start)
 		tr.Observe(handlerKey(e), dur)
 		tr.Trace(trace.Record{
@@ -472,7 +503,7 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 			d.clock.Advance(d.profile.HandlerInvoke)
 			ran++
 			d.engine.After(0, func() {
-				if _, aborted, _ := d.invokeBounded(bound, e, arg); aborted {
+				if _, aborted, _ := d.invokeBounded(st, bound, e, arg); aborted {
 					st.aborts.Add(1)
 				}
 			})
@@ -484,7 +515,7 @@ func (d *Dispatcher) Raise(event string, arg any) any {
 		if tr != nil {
 			hstart = d.clock.Now()
 		}
-		res, aborted, faulted := d.invokeBounded(snap.constraint.TimeBound, e, arg)
+		res, aborted, faulted := d.invokeBounded(st, snap.constraint.TimeBound, e, arg)
 		if tr != nil {
 			tr.Observe(handlerKey(e), d.clock.Now().Sub(hstart))
 		}
@@ -549,23 +580,40 @@ func (d *Dispatcher) Tracer() *trace.Tracer { return d.tracer.Load() }
 // handler's result is discarded, and the failure is counted — "the failure
 // of an extension is no more catastrophic than the failure of code executing
 // in the runtime libraries found in conventional systems" (§4.3). The raiser
-// and all other handlers proceed.
-func (d *Dispatcher) invokeBounded(bound sim.Duration, e *handlerEntry, arg any) (res any, aborted, faulted bool) {
+// and all other handlers proceed. Faults are counted globally, per event,
+// and per handler; a handler that exhausts its quarantine budget (fault
+// threshold or time-bound-overrun budget) is atomically unlinked.
+//
+// "dispatch.invoke" is a fault-injection site: an armed KindPanic rule
+// faults the handler here (inside the containment boundary), a KindDelay
+// rule slows it against its time bound.
+func (d *Dispatcher) invokeBounded(st *eventState, bound sim.Duration, e *handlerEntry, arg any) (res any, aborted, faulted bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			d.faults.Add(1)
+			st.faults.Add(1)
+			faults := e.faults.Add(1)
 			d.faultMu.Lock()
 			d.lastFault = fmt.Sprintf("handler of %q (installer %q): %v", e.event, e.owner.Name, r)
 			d.faultMu.Unlock()
+			if thr := d.qFaultThreshold.Load(); thr > 0 && faults >= thr {
+				d.quarantine(st, e, fmt.Sprintf("%d faults (threshold %d), last: %v", faults, thr, r))
+			}
 			res, aborted, faulted = nil, true, true
 		}
 	}()
+	inj := d.injector.Load()
+	inj.Fire("dispatch.invoke")
 	if bound <= 0 {
 		return e.handler(arg, e.closure), false, false
 	}
 	start := d.clock.Now()
 	res = e.handler(arg, e.closure)
 	if d.clock.Now().Sub(start) > bound {
+		overruns := e.overruns.Add(1)
+		if budget := d.qOverrunBudget.Load(); budget > 0 && overruns >= budget {
+			d.quarantine(st, e, fmt.Sprintf("%d time-bound overruns (budget %d)", overruns, budget))
+		}
 		return nil, true, false
 	}
 	return res, false, false
@@ -589,13 +637,13 @@ func (d *Dispatcher) HandlerCount(event string) int {
 	return 0
 }
 
-// Stats reports raise and abort counts for event. Counters are atomics;
-// totals are exact even under parallel raises.
-func (d *Dispatcher) Stats(event string) (raises, aborts int64) {
+// Stats reports raise, abort and contained-fault counts for event.
+// Counters are atomics; totals are exact even under parallel raises.
+func (d *Dispatcher) Stats(event string) (raises, aborts, faults int64) {
 	if st, ok := d.lookup(event); ok {
-		return st.raises.Load(), st.aborts.Load()
+		return st.raises.Load(), st.aborts.Load(), st.faults.Load()
 	}
-	return 0, 0
+	return 0, 0, 0
 }
 
 // Events lists the defined event names, sorted. Used by the Figure 5

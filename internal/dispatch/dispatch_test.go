@@ -278,7 +278,7 @@ func TestTimeBoundAbortsSlowHandler(t *testing.T) {
 	if got != "fast" {
 		t.Errorf("Raise = %v; slow handler's result should be discarded", got)
 	}
-	_, aborts := d.Stats("E")
+	_, aborts, _ := d.Stats("E")
 	if aborts != 1 {
 		t.Errorf("aborts = %d, want 1", aborts)
 	}
@@ -322,7 +322,7 @@ func TestStatsAndIntrospection(t *testing.T) {
 		InstallOptions{Installer: domain.Identity{Name: "ext1"}})
 	d.Raise("A", nil)
 	d.Raise("A", nil)
-	raises, _ := d.Stats("A")
+	raises, _, _ := d.Stats("A")
 	if raises != 2 {
 		t.Errorf("raises = %d", raises)
 	}

@@ -1,0 +1,85 @@
+package domain
+
+import (
+	"errors"
+	"testing"
+
+	"spin/internal/safe"
+)
+
+// Crash-only teardown at the nameserver: Destroy deletes the owner's
+// bindings under the lock, then runs each registered subsystem reclaimer
+// outside it, itemizing everything recovered.
+
+func TestDestroyUnexportsAndRunsReclaimers(t *testing.T) {
+	ns := NewNameserver()
+	iface, err := CreateFromModule("Svc", func(o *safe.ObjectFile) {
+		o.Export("Svc.Ping", func() int { return 1 })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := Identity{Name: "ext"}
+	if err := ns.ExportOwned("SvcA", iface, nil, ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.ExportOwned("SvcB", iface, nil, ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Export("Other", iface, nil); err != nil { // owner "Svc" (the domain)
+		t.Fatal(err)
+	}
+	var sawOwner Identity
+	ns.AddReclaimer("dispatch", func(owner Identity) int { sawOwner = owner; return 2 })
+	ns.AddReclaimer("net", func(Identity) int { return 0 })
+
+	report := ns.Destroy(ext)
+	if len(report.Unexported) != 2 {
+		t.Errorf("Unexported = %v, want SvcA and SvcB", report.Unexported)
+	}
+	if sawOwner != ext {
+		t.Errorf("reclaimer saw owner %+v, want %+v", sawOwner, ext)
+	}
+	if report.Reclaimed["dispatch"] != 2 || report.Reclaimed["net"] != 0 {
+		t.Errorf("Reclaimed = %+v", report.Reclaimed)
+	}
+	if got := report.Total(); got != 4 { // 2 names + 2 dispatch
+		t.Errorf("Total = %d, want 4", got)
+	}
+	if _, err := ns.Import("SvcA", Identity{Name: "app"}); !errors.Is(err, ErrNotExported) {
+		t.Errorf("SvcA importable after destroy: %v", err)
+	}
+	if _, err := ns.Import("Other", Identity{Name: "app"}); err != nil {
+		t.Errorf("unowned export destroyed too: %v", err)
+	}
+	// The freed name is immediately re-exportable by a successor.
+	if err := ns.ExportOwned("SvcA", iface, nil, Identity{Name: "ext2"}); err != nil {
+		t.Errorf("SvcA not re-exportable: %v", err)
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	ns := NewNameserver()
+	iface, err := CreateFromModule("Svc", func(o *safe.ObjectFile) {
+		o.Export("Svc.Ping", func() int { return 1 })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.ExportOwned("Named", iface, nil, Identity{Name: "ext"}); err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := ns.OwnerOf("Named"); !ok || owner != "ext" {
+		t.Errorf("OwnerOf(Named) = %q, %v", owner, ok)
+	}
+	if _, ok := ns.OwnerOf("Missing"); ok {
+		t.Error("OwnerOf found a binding that does not exist")
+	}
+	// Export without an explicit owner records the exporting domain.
+	if err := ns.Export("Implicit", iface, nil); err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := ns.OwnerOf("Implicit"); !ok || owner != "Svc" {
+		t.Errorf("OwnerOf(Implicit) = %q, %v, want the domain name", owner, ok)
+	}
+}

@@ -1,0 +1,44 @@
+package netdbg
+
+import (
+	"strings"
+	"testing"
+
+	"spin/internal/dispatch"
+	"spin/internal/domain"
+)
+
+// The "faults" command reports fault containment over the wire: contained
+// totals, per-event counts, the active quarantine policy and its log.
+func TestFaultsQueryReportsQuarantine(t *testing.T) {
+	r := newRig(t)
+	r.disp.SetQuarantinePolicy(dispatch.QuarantinePolicy{FaultThreshold: 2})
+	if err := r.disp.Define("Dbg.E", dispatch.DefineOptions{
+		Primary: func(_, _ any) any { return "ok" },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.disp.Install("Dbg.E", func(_, _ any) any { panic("bad ext") },
+		dispatch.InstallOptions{Installer: domain.Identity{Name: "bad-ext"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r.disp.Raise("Dbg.E", nil)
+	}
+	reply := r.query(t, "faults")
+	for _, want := range []string{
+		"2 contained", "Dbg.E: faults=2 quarantined=1",
+		"1 handler(s) unlinked", "fault threshold 2", "bad-ext",
+	} {
+		if !strings.Contains(reply, want) {
+			t.Errorf("faults reply missing %q:\n%s", want, reply)
+		}
+	}
+}
+
+func TestFaultsQueryNoDispatcher(t *testing.T) {
+	d := &Debugger{}
+	if reply := d.execute("faults"); !strings.Contains(reply, "error") {
+		t.Errorf("faults without a dispatcher = %q, want error", reply)
+	}
+}

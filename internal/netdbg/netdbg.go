@@ -68,6 +68,8 @@ func (d *Debugger) execute(line string) string {
 		return d.handlers(arg)
 	case "stats":
 		return d.stats(arg)
+	case "faults":
+		return d.faults()
 	case "frame":
 		return d.frame(arg)
 	case "tlb":
@@ -87,7 +89,7 @@ func (d *Debugger) execute(line string) string {
 }
 
 func (d *Debugger) help() string {
-	cmds := []string{"events", "frame <n>", "handlers <event>", "help", "mem", "net", "stats <event>", "tlb"}
+	cmds := []string{"events", "faults", "frame <n>", "handlers <event>", "help", "mem", "net", "stats <event>", "tlb"}
 	for c := range d.target.Extra {
 		cmds = append(cmds, c)
 	}
@@ -117,8 +119,45 @@ func (d *Debugger) stats(event string) string {
 	if d.target.Dispatcher == nil {
 		return "error: no dispatcher attached"
 	}
-	raises, aborts := d.target.Dispatcher.Stats(event)
-	return fmt.Sprintf("%s: raises=%d aborts=%d", event, raises, aborts)
+	raises, aborts, faults := d.target.Dispatcher.Stats(event)
+	return fmt.Sprintf("%s: raises=%d aborts=%d faults=%d", event, raises, aborts, faults)
+}
+
+// faults summarizes extension misbehaviour: global and per-event contained
+// fault counts, plus the quarantine log — which handlers the dispatcher has
+// unlinked, and why.
+func (d *Debugger) faults() string {
+	disp := d.target.Dispatcher
+	if disp == nil {
+		return "error: no dispatcher attached"
+	}
+	return FaultReport(disp)
+}
+
+// FaultReport renders the dispatcher's fault-containment state: contained
+// fault totals, per-event fault and quarantine counts, the active policy
+// and the quarantine log. Shared by the "faults" wire command and
+// spin-httpd's /debug/faults endpoint.
+func FaultReport(disp *dispatch.Dispatcher) string {
+	total, last := disp.ExtensionFaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "faults: %d contained", total)
+	if last != "" {
+		fmt.Fprintf(&sb, "; last: %s", last)
+	}
+	for _, ev := range disp.Events() {
+		if _, _, f := disp.Stats(ev); f > 0 {
+			fmt.Fprintf(&sb, "\n  %s: faults=%d quarantined=%d", ev, f, disp.QuarantinedOn(ev))
+		}
+	}
+	q := disp.Quarantined()
+	pol := disp.QuarantinePolicyInEffect()
+	fmt.Fprintf(&sb, "\nquarantine: %d handler(s) unlinked (fault threshold %d, overrun budget %d)",
+		len(q), pol.FaultThreshold, pol.OverrunBudget)
+	for _, r := range q {
+		fmt.Fprintf(&sb, "\n  %s", r)
+	}
+	return sb.String()
 }
 
 func (d *Debugger) frame(arg string) string {

@@ -8,6 +8,7 @@ import (
 
 	"spin/internal/dispatch"
 	"spin/internal/domain"
+	"spin/internal/faultinject"
 	"spin/internal/sal"
 	"spin/internal/sim"
 	"spin/internal/trace"
@@ -118,6 +119,10 @@ type Stack struct {
 
 	received atomic.Int64
 	sent     atomic.Int64
+	// rxPanics counts handler panics contained in the receive path: a
+	// faulty protocol handler costs its packet, never the RX worker or the
+	// kernel (paper §4.3 applied to the data path).
+	rxPanics atomic.Int64
 }
 
 // NewStack builds a protocol stack on the machine's dispatcher and defines
@@ -275,13 +280,32 @@ func (s *Stack) drainRX(q *rxQueue, max int) int {
 		select {
 		case pkt := <-q.ch:
 			s.clock.Advance(s.profile.ContextSwitch)
-			s.receive(q.linkEvent, pkt)
+			s.safeReceive(q.linkEvent, pkt)
 			n++
 		default:
 			return n
 		}
 	}
 	return n
+}
+
+// safeReceive pushes one packet up the graph behind a panic guard: a handler
+// panic that escapes the dispatcher's containment (or an injected one from
+// the "net.rx" site) is recovered here, counted, and traced — the packet is
+// lost, the RX worker (or the engine's drain step) keeps draining.
+func (s *Stack) safeReceive(linkEvent string, pkt *Packet) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.rxPanics.Add(1)
+			if tr := s.disp.Tracer(); tr != nil {
+				tr.Trace(trace.Record{
+					Event: "net.rx.panic", Origin: "net",
+					Start: s.clock.Now(), Outcome: trace.OutcomeFaulted,
+				})
+			}
+		}
+	}()
+	s.receive(linkEvent, pkt)
 }
 
 // StartRXWorkers switches the stack to parallel receive: one goroutine per
@@ -313,7 +337,7 @@ func (s *Stack) StartRXWorkers() {
 					return
 				case pkt := <-q.ch:
 					s.clock.Advance(s.profile.ContextSwitch)
-					s.receive(q.linkEvent, pkt)
+					s.safeReceive(q.linkEvent, pkt)
 					// Batch: drain what else accumulated before blocking
 					// again.
 					s.drainRX(q, rxBatch-1)
@@ -347,6 +371,51 @@ func (s *Stack) InjectRX(nicIndex int, pkt *Packet) bool {
 	return s.enqueueRX(qs[nicIndex], pkt)
 }
 
+// Detach disconnects a NIC from the stack: the driver upcall is unhooked,
+// the NIC's receive queue is unlinked (undrained packets are discarded with
+// the queue), routes through the NIC are withdrawn, and the default route is
+// promoted to the next attached NIC (or cleared). A worker goroutine still
+// parked on the detached queue idles harmlessly until StopRXWorkers. It
+// reports whether the NIC was attached.
+func (s *Stack) Detach(nic *sal.NIC) bool {
+	if nic == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.rxqs.Load()
+	next := make([]*rxQueue, 0, len(old))
+	found := false
+	for _, q := range old {
+		if q.nic == nic {
+			found = true
+			continue
+		}
+		next = append(next, q)
+	}
+	if !found {
+		return false
+	}
+	nic.OnReceive = nil
+	s.rxqs.Store(&next)
+	oldRoutes := *s.routes.Load()
+	nextRoutes := make(map[IPAddr]*sal.NIC, len(oldRoutes))
+	for k, v := range oldRoutes {
+		if v != nic {
+			nextRoutes[k] = v
+		}
+	}
+	s.routes.Store(&nextRoutes)
+	if s.defaultNIC.Load() == nic {
+		if len(next) > 0 {
+			s.defaultNIC.Store(next[0].nic)
+		} else {
+			s.defaultNIC.Store(nil)
+		}
+	}
+	return true
+}
+
 // RXStats sums the per-NIC receive-queue counters: packets accepted into a
 // queue and packets dropped at a full queue.
 func (s *Stack) RXStats() (accepted, dropped int64) {
@@ -356,6 +425,9 @@ func (s *Stack) RXStats() (accepted, dropped int64) {
 	}
 	return accepted, dropped
 }
+
+// RXPanics reports handler panics contained by the receive path's guard.
+func (s *Stack) RXPanics() int64 { return s.rxPanics.Load() }
 
 // ReassemblyStats reports datagrams awaiting fragments and partial buffers
 // evicted by the TTL sweep or the pending cap.
@@ -400,6 +472,11 @@ func (s *Stack) receive(linkEvent string, pkt *Packet) {
 }
 
 func (s *Stack) receive1(linkEvent string, pkt *Packet) {
+	// Injection site "net.rx": drop/error discards the packet before the
+	// graph sees it; a panic rule exercises the safeReceive guard.
+	if f := s.disp.InjectorInstalled().Fire("net.rx"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
+		return
+	}
 	s.received.Add(1)
 	// Link layer processing + event.
 	s.clock.Advance(s.profile.ProtoLayer)
@@ -418,6 +495,12 @@ func (s *Stack) receive1(linkEvent string, pkt *Packet) {
 	}
 	// Reassemble fragmented datagrams before transport processing.
 	if pkt.MoreFrags || pkt.FragID != 0 {
+		// Injection site "net.ip.reassemble": losing a fragment leaves a
+		// partial buffer for the TTL sweep to evict — the leak the
+		// reassembler must absorb.
+		if f := s.disp.InjectorInstalled().Fire("net.ip.reassemble"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
+			return
+		}
 		s.clock.Advance(s.profile.ProtoLayer / 2)
 		whole, waited := s.reasm.reassemble(pkt, s.clock.Now())
 		if whole == nil {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spin/internal/faultinject"
 	"spin/internal/sim"
 )
 
@@ -113,6 +114,7 @@ type Listener struct {
 	port   uint16
 	cost   DeliveryCost
 	accept func(*Conn)
+	owner  string
 }
 
 // TCP is the stack's TCP module. The paper notes SPIN used the DEC OSF/1
@@ -163,6 +165,12 @@ func (t *TCP) storeConn(key connKey, c *Conn) {
 // Listen accepts connections on port; accept runs when a connection reaches
 // ESTABLISHED.
 func (t *TCP) Listen(port uint16, cost DeliveryCost, accept func(*Conn)) error {
+	return t.ListenOwned("", port, cost, accept)
+}
+
+// ListenOwned is Listen with a recorded owning principal, so the listener is
+// withdrawn by UnlistenOwner when the owner's domain is destroyed.
+func (t *TCP) ListenOwned(owner string, port uint16, cost DeliveryCost, accept func(*Conn)) error {
 	if cost == nil {
 		cost = InKernelDelivery
 	}
@@ -176,7 +184,7 @@ func (t *TCP) Listen(port uint16, cost DeliveryCost, accept func(*Conn)) error {
 	for k, v := range old {
 		next[k] = v
 	}
-	next[port] = &Listener{port: port, cost: cost, accept: accept}
+	next[port] = &Listener{port: port, cost: cost, accept: accept, owner: owner}
 	t.listeners.Store(&next)
 	return nil
 }
@@ -196,6 +204,33 @@ func (t *TCP) Unlisten(port uint16) {
 		}
 	}
 	t.listeners.Store(&next)
+}
+
+// UnlistenOwner withdraws every listener registered under owner in one
+// snapshot swap — the TCP module's teardown reclaimer. Established
+// connections accepted earlier run their normal state machines to
+// completion; only the ability to accept new ones is revoked. It returns
+// the number of listeners withdrawn.
+func (t *TCP) UnlistenOwner(owner string) int {
+	if owner == "" {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.listeners.Load()
+	next := make(map[uint16]*Listener, len(old))
+	removed := 0
+	for k, v := range old {
+		if v.owner == owner {
+			removed++
+			continue
+		}
+		next[k] = v
+	}
+	if removed > 0 {
+		t.listeners.Store(&next)
+	}
+	return removed
 }
 
 // Connect opens a connection to dst:port. The returned Conn is in SYN_SENT;
@@ -397,6 +432,10 @@ func (c *Conn) onRetxTimeout() {
 // deliver routes one inbound TCP segment, feeding the per-segment latency
 // series when tracing is enabled.
 func (t *TCP) deliver(pkt *Packet) {
+	f := t.stack.disp.InjectorInstalled().Fire("net.tcp.deliver")
+	if f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
+		return // injected segment loss; retransmission recovers
+	}
 	if tr := t.stack.disp.Tracer(); tr != nil {
 		start := t.stack.clock.Now()
 		defer func() {

@@ -31,8 +31,9 @@ type UDP struct {
 }
 
 type udpBinding struct {
-	h    UDPHandler
-	cost DeliveryCost
+	h     UDPHandler
+	cost  DeliveryCost
+	owner string
 }
 
 func newUDP(s *Stack) *UDP {
@@ -45,6 +46,12 @@ func newUDP(s *Stack) *UDP {
 // Bind installs handler as the endpoint for port. cost models the delivery
 // path (InKernelDelivery for SPIN extensions).
 func (u *UDP) Bind(port uint16, cost DeliveryCost, h UDPHandler) error {
+	return u.BindOwned("", port, cost, h)
+}
+
+// BindOwned is Bind with a recorded owning principal, so the endpoint is
+// released by UnbindOwner when the owner's domain is destroyed.
+func (u *UDP) BindOwned(owner string, port uint16, cost DeliveryCost, h UDPHandler) error {
 	if cost == nil {
 		cost = InKernelDelivery
 	}
@@ -58,7 +65,7 @@ func (u *UDP) Bind(port uint16, cost DeliveryCost, h UDPHandler) error {
 	for k, v := range old {
 		next[k] = v
 	}
-	next[port] = udpBinding{h: h, cost: cost}
+	next[port] = udpBinding{h: h, cost: cost, owner: owner}
 	u.ports.Store(&next)
 	return nil
 }
@@ -78,6 +85,32 @@ func (u *UDP) Unbind(port uint16) {
 		}
 	}
 	u.ports.Store(&next)
+}
+
+// UnbindOwner releases every port bound under owner in one snapshot swap —
+// the UDP module's teardown reclaimer. Deliveries in flight see either the
+// old table (and run the departing handler one last time) or the new one.
+// It returns the number of ports released.
+func (u *UDP) UnbindOwner(owner string) int {
+	if owner == "" {
+		return 0
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	old := *u.ports.Load()
+	next := make(map[uint16]udpBinding, len(old))
+	removed := 0
+	for k, v := range old {
+		if v.owner == owner {
+			removed++
+			continue
+		}
+		next[k] = v
+	}
+	if removed > 0 {
+		u.ports.Store(&next)
+	}
+	return removed
 }
 
 // Ephemeral ports are allocated from [EphemeralMin, EphemeralMax]; the

@@ -15,10 +15,13 @@ package strand
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"spin/internal/dispatch"
 	"spin/internal/domain"
+	"spin/internal/faultinject"
 	"spin/internal/sim"
+	"spin/internal/trace"
 )
 
 // Event names for scheduler/thread-package communication.
@@ -99,6 +102,9 @@ type Scheduler struct {
 	yieldCh chan struct{}
 	// switches counts context switches, for tests.
 	switches int64
+	// strandFaults counts strand-body panics contained by the entry guard:
+	// a faulting strand dies alone, the scheduler loop keeps running.
+	strandFaults atomic.Int64
 }
 
 // NewScheduler creates the global scheduler and defines the four strand
@@ -263,8 +269,27 @@ func (sched *Scheduler) Run() {
 			next.started = true
 			go func(s *Strand) {
 				<-s.token
+				// Entry guard: a panic in the strand body — organic or
+				// from the "sched.strand" site — kills this strand only.
+				// exit() still runs, so the CPU token returns to the
+				// scheduler loop and other strands keep running.
+				defer func() {
+					if r := recover(); r != nil {
+						sched.strandFaults.Add(1)
+						if tr := sched.disp.Tracer(); tr != nil {
+							tr.Trace(trace.Record{
+								Event: "sched.strand.panic", Origin: "sched",
+								Start: sched.clock.Now(), Outcome: trace.OutcomeFaulted,
+							})
+						}
+					}
+					s.exit()
+				}()
+				f := sched.disp.InjectorInstalled().Fire("sched.strand")
+				if f.Kind == faultinject.KindError || f.Kind == faultinject.KindDrop {
+					return // injected: strand dies before its body runs
+				}
 				s.body(s)
-				s.exit()
 			}(next)
 		}
 		// Hand over the CPU and wait for it back, timing the slice (the
@@ -328,6 +353,9 @@ func (sched *Scheduler) Start(s *Strand) { sched.Unblock(s) }
 
 // Switches reports context switches performed.
 func (sched *Scheduler) Switches() int64 { return sched.switches }
+
+// StrandFaults reports strand-body panics contained by the entry guard.
+func (sched *Scheduler) StrandFaults() int64 { return sched.strandFaults.Load() }
 
 // Current returns the strand holding the CPU, if any.
 func (sched *Scheduler) Current() *Strand { return sched.current }

@@ -5,6 +5,7 @@ import (
 
 	"spin/internal/dispatch"
 	"spin/internal/domain"
+	"spin/internal/faultinject"
 	"spin/internal/sal"
 )
 
@@ -88,6 +89,12 @@ func NewPager(sys *System, disk *sal.Disk, ctx *Context, region *VirtAddr,
 // tracing is enabled — the disk transfer and mapping costs it covers are
 // what the paper's Table 4 measures.
 func (pg *Pager) fault(page int) bool {
+	// Injection site "vm.pager.fault": error/drop fails the page-in (the
+	// faulting access is denied, as on backing-store failure); a panic rule
+	// exercises the dispatcher's handler containment.
+	if f := pg.sys.Disp.InjectorInstalled().Fire("vm.pager.fault"); f.Kind == faultinject.KindError || f.Kind == faultinject.KindDrop {
+		return false
+	}
 	if tr := pg.sys.Disp.Tracer(); tr != nil {
 		start := pg.sys.Clock.Now()
 		defer func() {

@@ -23,6 +23,7 @@ import (
 	"spin/internal/capability"
 	"spin/internal/dispatch"
 	"spin/internal/domain"
+	"spin/internal/faultinject"
 	"spin/internal/fs"
 	"spin/internal/netstack"
 	"spin/internal/safe"
@@ -141,6 +142,26 @@ func NewMachine(name string, cfg Config) (*Machine, error) {
 	}
 	m.FS = fs.New(m.Disk, m.Clock, cfg.CacheBlocks)
 	m.Extern = capability.NewTable()
+
+	// Fault containment boots armed: a handler that exhausts the default
+	// fault/overrun budgets is quarantined off its event.
+	m.Dispatcher.SetQuarantinePolicy(dispatch.DefaultQuarantinePolicy)
+
+	// Crash-only teardown: each subsystem registers a reclaimer so
+	// DestroyDomain recovers a departing principal's whole footprint —
+	// event handlers, externalized capabilities, network endpoints.
+	m.Namespace.AddReclaimer("dispatch", func(owner domain.Identity) int {
+		return m.Dispatcher.RemoveOwner(owner)
+	})
+	m.Namespace.AddReclaimer("capability", func(owner domain.Identity) int {
+		return m.Extern.RevokeOwner(owner.Name)
+	})
+	m.Namespace.AddReclaimer("net.udp", func(owner domain.Identity) int {
+		return m.Stack.UDP().UnbindOwner(owner.Name)
+	})
+	m.Namespace.AddReclaimer("net.tcp", func(owner domain.Identity) int {
+		return m.Stack.TCP().UnlistenOwner(owner.Name)
+	})
 
 	// The system call trap event: the kernel's trap handler raises
 	// Trap.SystemCall, dispatched to handlers installed by extensions.
@@ -280,6 +301,34 @@ func (m *Machine) EnableTracing(ringSize int) *trace.Tracer {
 // already buffered remain readable through the tracer EnableTracing
 // returned.
 func (m *Machine) DisableTracing() { m.Dispatcher.SetTracer(nil) }
+
+// EnableFaultInjection arms the kernel's deterministic fault-injection
+// harness: every injection site (dispatcher invocation, netstack RX /
+// reassembly / TCP delivery, VM pager, strand entry) consults the returned
+// injector, whose decisions replay exactly from seed. Arm rules on the
+// injector to make faults happen; until then (and after
+// DisableFaultInjection) each site costs one predictable-nil load.
+func (m *Machine) EnableFaultInjection(seed uint64) *faultinject.Injector {
+	in := faultinject.New(seed, m.Clock)
+	m.Dispatcher.SetInjector(in)
+	return in
+}
+
+// DisableFaultInjection disarms fault injection (one atomic pointer swap).
+// Counters on the injector EnableFaultInjection returned remain readable.
+func (m *Machine) DisableFaultInjection() { m.Dispatcher.SetInjector(nil) }
+
+// DestroyDomain is crash-only extension teardown (the recovery action
+// quarantine escalates to): in one call the named principal's interface
+// exports are withdrawn from the nameserver, its event handlers are
+// uninstalled from the dispatcher, its externalized capabilities are
+// revoked, and its network endpoints are released — without the departing
+// code's cooperation. Importers that already linked keep their direct
+// procedure pointers; the freed names are immediately re-exportable by a
+// replacement extension. The report itemizes what was reclaimed.
+func (m *Machine) DestroyDomain(ident domain.Identity) domain.DestroyReport {
+	return m.Namespace.Destroy(ident)
+}
 
 // Run drains the machine's event queue (single-machine experiments).
 func (m *Machine) Run() { m.Engine.Run(0) }
