@@ -296,3 +296,27 @@ func benchmarkParallelRX(b *testing.B, nics int) {
 func BenchmarkParallelRX1(b *testing.B) { benchmarkParallelRX(b, 1) }
 func BenchmarkParallelRX2(b *testing.B) { benchmarkParallelRX(b, 2) }
 func BenchmarkParallelRX4(b *testing.B) { benchmarkParallelRX(b, 4) }
+
+// benchmarkParallelStrands runs the standard 64-strand batch (all homed on
+// CPU 0 — spreading is pure work stealing) on n virtual CPUs and reports
+// virtual-time throughput. The scaling measured is virtual: each CPU has
+// its own clock, so the batch's makespan shrinks with CPUs even on a
+// one-core host.
+func benchmarkParallelStrands(b *testing.B, cpus int) {
+	var last bench.ParallelResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.MeasureParallelStrands(cpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Throughput, "iters/vms")
+	b.ReportMetric(last.Makespan.Micros(), "makespan-µs")
+	b.ReportMetric(float64(last.Steals), "steals")
+}
+
+func BenchmarkParallelStrands1(b *testing.B) { benchmarkParallelStrands(b, 1) }
+func BenchmarkParallelStrands2(b *testing.B) { benchmarkParallelStrands(b, 2) }
+func BenchmarkParallelStrands4(b *testing.B) { benchmarkParallelStrands(b, 4) }
+func BenchmarkParallelStrands8(b *testing.B) { benchmarkParallelStrands(b, 8) }

@@ -48,6 +48,10 @@ type chaosSummary struct {
 	StrandFired        int64
 	StrandFaults       int64
 	StrandBodiesRan    int64
+	MCPUStrandFired    int64
+	MCPUStolenFaults   int
+	MCPUSteals         int64
+	MCPUBodiesRan      int64
 	TCPFired           int64
 	TCPDelivered       int
 	TotalInjected      int64
@@ -304,6 +308,92 @@ func chaosStrands(t *testing.T, seed uint64, sum *chaosSummary) {
 	sum.TotalInjected += inj.Fired()
 }
 
+// chaosStolenStrands points the "sched.strand" site at a 4-CPU machine
+// whose strands are all homed on CPU 0, so the injected panics land on
+// strands that the idle CPUs have just stolen: a strand panicking
+// mid-migration dies alone on the thief CPU, and that CPU keeps scheduling
+// (steals continue, survivors complete their full scripts).
+func chaosStolenStrands(t *testing.T, seed uint64, sum *chaosSummary) {
+	t.Helper()
+	m, err := NewMachine("chaos-mcpu", Config{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := m.EnableFaultInjection(seed)
+	inj.Arm(faultinject.Rule{Site: "sched.strand", Kind: faultinject.KindPanic, MaxFires: 6})
+	const strands = 20
+	ranFlag := make([]bool, strands)
+	completed := make([]bool, strands)
+	stolen := make(map[string]bool)
+	m.Sched.SetObserver(func(ev strand.SchedEvent) {
+		if ev.Kind == "steal" {
+			stolen[ev.Strand] = true
+		}
+	})
+	for i := 0; i < strands; i++ {
+		i := i
+		s := m.Sched.NewStrandOn(fmt.Sprintf("mc-%d", i), 1, 0, func(s *strand.Strand) {
+			ranFlag[i] = true
+			for k := 0; k < 4; k++ {
+				s.Exec(3 * sim.Microsecond)
+				s.Yield()
+			}
+			completed[i] = true
+		})
+		m.Sched.Start(s)
+	}
+	m.Sched.Run()
+	sum.MCPUStrandFired = inj.FiredAt("sched.strand")
+	sum.MCPUSteals = m.Sched.Steals()
+	if sum.MCPUStrandFired != 6 {
+		t.Errorf("sched.strand fired %d on the 4-CPU machine, want the full 6", sum.MCPUStrandFired)
+	}
+	if got := m.Sched.StrandFaults(); got != sum.MCPUStrandFired {
+		t.Errorf("StrandFaults = %d, want %d (each injected panic contained)", got, sum.MCPUStrandFired)
+	}
+	if sum.MCPUSteals == 0 {
+		t.Error("no steals on the 4-CPU chaos machine: the site never saw a migrated strand")
+	}
+	var ran, done int64
+	for i := 0; i < strands; i++ {
+		if ranFlag[i] {
+			ran++
+		}
+		if completed[i] {
+			done++
+		}
+		// The entry-site panic fires before the body, so a faulted strand
+		// never sets its flag; count the ones that were also stolen.
+		if !ranFlag[i] && stolen[fmt.Sprintf("mc-%d", i)] {
+			sum.MCPUStolenFaults++
+		}
+	}
+	sum.MCPUBodiesRan = ran
+	if ran != strands-sum.MCPUStrandFired {
+		t.Errorf("%d strand bodies ran, want %d (survivors unaffected)", ran, strands-sum.MCPUStrandFired)
+	}
+	if done != ran {
+		t.Errorf("%d survivors completed their scripts, want all %d", done, ran)
+	}
+	if sum.MCPUStolenFaults == 0 {
+		t.Error("no injected panic landed on a stolen strand — the chaos never exercised death mid-migration")
+	}
+	busy := 0
+	for _, st := range m.Sched.CPUStats() {
+		if st.Switches > 0 {
+			busy++
+		}
+		if st.Ready != 0 {
+			t.Errorf("cpu%d still queues %d strands after chaos", st.ID, st.Ready)
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d CPUs dispatched; thief CPUs must keep scheduling after contained panics", busy)
+	}
+	inj.DisarmAll()
+	sum.TotalInjected += inj.Fired()
+}
+
 // chaosTCP injects segment loss at the server's "net.tcp.deliver" site
 // mid-transfer: retransmission recovers every byte, in order.
 func chaosTCP(t *testing.T, seed uint64, sum *chaosSummary) {
@@ -364,6 +454,7 @@ func runChaos(t *testing.T, seed uint64) chaosSummary {
 	chaosNetstack(t, seed+1, &sum)
 	chaosPager(t, seed+2, &sum)
 	chaosStrands(t, seed+3, &sum)
+	chaosStolenStrands(t, seed+5, &sum)
 	chaosTCP(t, seed+4, &sum)
 	return sum
 }

@@ -18,6 +18,7 @@ import (
 	"spin/internal/netstack"
 	"spin/internal/sal"
 	"spin/internal/sim"
+	"spin/internal/strand"
 )
 
 func main() {
@@ -26,8 +27,8 @@ func main() {
 	flag.Parse()
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
-			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "tlb",
-			"mem", "frame 300", "uptime"}
+			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "sched",
+			"tlb", "mem", "frame 300", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)
@@ -41,7 +42,9 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func run(cmds []string) error {
-	target, err := spin.NewMachine("target-kernel", spin.Config{IP: netstack.Addr(10, 0, 0, 2)})
+	// Two virtual CPUs on the target, so the sched command has per-CPU
+	// queues, steals and migrations to report.
+	target, err := spin.NewMachine("target-kernel", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2})
 	if err != nil {
 		return err
 	}
@@ -80,10 +83,25 @@ func run(cmds []string) error {
 			"perf":  func(string) string { return mon.Report() },
 			"trace": func(string) string { return tracer.Dump() },
 			"histo": func(string) string { return tracer.DumpHisto() },
+			"sched": func(string) string { return target.Sched.Report() },
 		},
 	}); err != nil {
 		return err
 	}
+	// A strand workload on the target: 8 worker strands homed on CPU 0, so
+	// the idle second CPU steals — the sched report shows real switches,
+	// steals and migrations.
+	for i := 0; i < 8; i++ {
+		s := target.Sched.NewStrandOn(fmt.Sprintf("worker-%d", i), 1, 0, func(s *strand.Strand) {
+			for k := 0; k < 16; k++ {
+				s.Exec(5 * sim.Microsecond)
+				s.Yield()
+			}
+		})
+		target.Sched.Start(s)
+	}
+	target.Sched.Run()
+
 	// Generate some traffic first.
 	for i := 0; i < 3; i++ {
 		done := false

@@ -22,18 +22,21 @@ import (
 	"spin/internal/netstack"
 	"spin/internal/sal"
 	"spin/internal/sim"
+	"spin/internal/strand"
 	"spin/internal/trace"
 )
 
 // debugContent layers the kernel's introspection endpoints over the
 // document tree: GET /debug/trace returns the dispatch ring, GET
 // /debug/histo the latency histograms, GET /debug/faults the fault-
-// containment and quarantine state — up-to-date kernel information served
-// by the same in-kernel HTTP extension that serves documents (paper §3.2).
+// containment and quarantine state, GET /debug/sched the per-CPU strand
+// scheduling counters — up-to-date kernel information served by the same
+// in-kernel HTTP extension that serves documents (paper §3.2).
 type debugContent struct {
 	docs   netstack.HTTPContent
 	tracer *trace.Tracer
 	disp   *dispatch.Dispatcher
+	sched  *strand.Scheduler
 }
 
 func (d debugContent) Get(path string) ([]byte, bool) {
@@ -44,6 +47,8 @@ func (d debugContent) Get(path string) ([]byte, bool) {
 		return []byte(d.tracer.DumpHisto()), true
 	case "/debug/faults":
 		return []byte(netdbg.FaultReport(d.disp)), true
+	case "/debug/sched":
+		return []byte(d.sched.Report()), true
 	}
 	return d.docs.Get(path)
 }
@@ -58,7 +63,9 @@ func main() {
 }
 
 func run(requests int) error {
-	server, err := spin.NewMachine("www-spin", spin.Config{IP: netstack.Addr(10, 0, 0, 2)})
+	// Two virtual CPUs on the server, so /debug/sched reports real per-CPU
+	// queues, steals and migrations.
+	server, err := spin.NewMachine("www-spin", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2})
 	if err != nil {
 		return err
 	}
@@ -87,9 +94,23 @@ func run(requests int) error {
 	cache := fs.NewWebCache(server.FS, 256<<10, 64<<10)
 	tracer := server.EnableTracing(1024)
 	if _, err := netstack.NewHTTPServer(server.Stack, 80, netstack.InKernelDelivery,
-		debugContent{docs: cache, tracer: tracer, disp: server.Dispatcher}); err != nil {
+		debugContent{docs: cache, tracer: tracer, disp: server.Dispatcher, sched: server.Sched}); err != nil {
 		return err
 	}
+
+	// A strand workload on the server: 8 worker strands homed on CPU 0, so
+	// the idle second CPU steals — /debug/sched shows real switches, steals
+	// and migrations alongside the HTTP traffic.
+	for i := 0; i < 8; i++ {
+		s := server.Sched.NewStrandOn(fmt.Sprintf("worker-%d", i), 1, 0, func(s *strand.Strand) {
+			for k := 0; k < 16; k++ {
+				s.Exec(5 * sim.Microsecond)
+				s.Yield()
+			}
+		})
+		server.Sched.Start(s)
+	}
+	server.Sched.Run()
 
 	fmt.Println("spin-httpd: in-kernel HTTP server on", server.Stack.IP)
 	fmt.Printf("%-18s %-6s %10s %8s %s\n", "path", "try", "latency", "status", "cache")
@@ -141,5 +162,20 @@ func run(requests int) error {
 		return fmt.Errorf("/debug/histo request never completed")
 	}
 	fmt.Printf("\nGET /debug/histo (also available: /debug/trace, /debug/faults):\n%s", histo)
+
+	// And the scheduler's per-CPU counters, the same way.
+	var schedRep []byte
+	got = false
+	if err := netstack.HTTPGet(client.Stack, server.Stack.IP, 80, "/debug/sched",
+		netstack.InKernelDelivery, func(_ string, body []byte) {
+			schedRep = body
+			got = true
+		}); err != nil {
+		return err
+	}
+	if !cluster.RunUntil(func() bool { return got }, 0) {
+		return fmt.Errorf("/debug/sched request never completed")
+	}
+	fmt.Printf("\nGET /debug/sched:\n%s", schedRep)
 	return nil
 }

@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"table7", "extension sizes", RunTable7},
 		{"fig5", "protocol graph structure", RunFig5},
 		{"fig6", "video server CPU utilization vs clients", RunFig6},
+		{"parallel", "multi-CPU strand scheduling throughput (work stealing)", RunParallelStrands},
 		{"dispatcher", "dispatcher scaling with guards (§5.5)", RunDispatcherScaling},
 		{"gc", "impact of automatic storage management (§5.5)", RunGC},
 		{"http", "web server transaction latency (§5.4)", RunHTTP},

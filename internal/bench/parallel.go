@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"spin/internal/dispatch"
+	"spin/internal/sim"
+	"spin/internal/strand"
+)
+
+// Parallel strand scaling: the paper's hardware was a uniprocessor Alpha,
+// so this experiment has no paper column — it validates that the multi-CPU
+// strand scheduler (per-CPU run queues plus work stealing) actually
+// converts extra virtual processors into aggregate throughput. Every
+// strand is homed on CPU 0 on purpose: all spreading must come from the
+// steal protocol, not from placement.
+
+// parallelWorkload shapes the batch: strands × iterations of a 2µs compute
+// burst followed by a preemption point.
+const (
+	parallelStrands = 64
+	parallelIters   = 32
+	parallelBurst   = 2 * sim.Microsecond
+)
+
+// ParallelResult is one multi-CPU scheduling run.
+type ParallelResult struct {
+	CPUs int
+	// Makespan is the virtual time until the last CPU finished.
+	Makespan sim.Duration
+	// Ops is the number of strand iterations executed.
+	Ops int
+	// Throughput is Ops per virtual millisecond.
+	Throughput float64
+	Steals     int64
+	Migrations int64
+	Switches   int64
+}
+
+// MeasureParallelStrands runs the standard batch on a scheduler with the
+// given number of CPUs and reports aggregate throughput.
+func MeasureParallelStrands(cpus int) (ParallelResult, error) {
+	engines := make([]*sim.Engine, cpus)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	disp := dispatch.New(engines[0], &sim.SPINProfile)
+	sched, err := strand.NewMultiScheduler(&sim.SPINProfile, disp, engines...)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	for i := 0; i < parallelStrands; i++ {
+		s := sched.NewStrandOn("worker", 1, 0, func(s *strand.Strand) {
+			for k := 0; k < parallelIters; k++ {
+				s.Exec(parallelBurst)
+				s.Yield()
+			}
+		})
+		sched.Start(s)
+	}
+	sched.Run()
+	var makespan sim.Time
+	for _, eng := range engines {
+		if now := eng.Clock.Now(); now > makespan {
+			makespan = now
+		}
+	}
+	res := ParallelResult{
+		CPUs:       cpus,
+		Makespan:   sim.Duration(makespan),
+		Ops:        parallelStrands * parallelIters,
+		Steals:     sched.Steals(),
+		Migrations: sched.Migrations(),
+		Switches:   sched.Switches(),
+	}
+	if makespan > 0 {
+		res.Throughput = float64(res.Ops) / (float64(makespan) / float64(sim.Millisecond))
+	}
+	return res, nil
+}
+
+// RunParallelStrands reproduces the scaling table: the same 64-strand batch
+// on 1, 2, 4 and 8 virtual CPUs.
+func RunParallelStrands() (*Table, error) {
+	base, err := MeasureParallelStrands(1)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, 4)
+	for _, cpus := range []int{1, 2, 4, 8} {
+		res, err := MeasureParallelStrands(cpus)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(base.Makespan) / float64(res.Makespan)
+		rows = append(rows, Row{
+			Label: labelCPUs(cpus),
+			Paper: []float64{NA, NA, NA, NA},
+			Measured: []float64{
+				res.Makespan.Micros(),
+				res.Throughput,
+				speedup,
+				float64(res.Steals),
+			},
+		})
+	}
+	return &Table{
+		ID:      "parallel",
+		Title:   "Multi-CPU strand scheduling throughput (work stealing)",
+		Columns: []string{"makespan µs", "iters/ms", "speedup", "steals"},
+		Unit:    "mixed",
+		Rows:    rows,
+		Notes: []string{
+			"64 strands x 32 iterations of 2µs bursts, all homed on CPU 0; spreading is pure work stealing",
+			"no paper column: the paper's Alpha was a uniprocessor — this validates the scheduler extension",
+		},
+	}, nil
+}
+
+func labelCPUs(n int) string {
+	if n == 1 {
+		return "1 CPU"
+	}
+	return fmt.Sprintf("%d CPUs", n)
+}

@@ -19,6 +19,10 @@ func NewCluster(engines ...*Engine) *Cluster {
 // Add registers an engine with the cluster.
 func (c *Cluster) Add(e *Engine) { c.engines = append(c.engines, e) }
 
+// Engines returns the cluster's engines in registration order (the slice is
+// shared; callers must not mutate it).
+func (c *Cluster) Engines() []*Engine { return c.engines }
+
 // next returns the engine with the earliest pending event, or nil.
 func (c *Cluster) next() *Engine {
 	var best *Engine

@@ -26,11 +26,11 @@ type IdleMonitor struct {
 }
 
 // Sleep blocks the strand for d of virtual time: it schedules a timer on
-// the machine engine and blocks; the scheduler delivers the timer and the
-// strand resumes. (The building block for I/O-bound workloads.)
+// the strand's home-CPU engine and blocks; that CPU delivers the timer and
+// the strand resumes. (The building block for I/O-bound workloads.)
 func (s *Strand) Sleep(d sim.Duration) {
 	sched := s.sched
-	sched.engine.After(d, func() {
+	s.cpu.engine.After(d, func() {
 		sched.doUnblock(s)
 	})
 	s.BlockSelf()
@@ -45,8 +45,9 @@ func NewIdleMonitor(sched *Scheduler, tick sim.Duration) *IdleMonitor {
 			// One tick of idle spinning. The time passes (the CPU is
 			// genuinely occupied by the idle loop) but it is not
 			// workload: account it with Sleep so Clock.Busy keeps
-			// meaning "workload busy".
-			sched.clock.Sleep(im.tick)
+			// meaning "workload busy". Charge whichever CPU the idle
+			// strand currently occupies.
+			self.cpu.clock.Sleep(im.tick)
 			im.ticks++
 			self.Yield()
 		}

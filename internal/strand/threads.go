@@ -10,13 +10,17 @@ import (
 // directly from strands and not layered on top of others").
 type ThreadPkg struct {
 	sched *Scheduler
-	clock *sim.Clock
 	prof  *sim.Profile
 }
 
 // NewThreadPkg returns the kernel thread package over sched.
 func NewThreadPkg(sched *Scheduler) *ThreadPkg {
-	return &ThreadPkg{sched: sched, clock: sched.clock, prof: sched.profile}
+	return &ThreadPkg{sched: sched, prof: sched.profile}
+}
+
+// charge bills one synchronization primitive to the CPU doing the work.
+func (p *ThreadPkg) charge() {
+	p.sched.actingClock().Advance(p.prof.SyncOp)
 }
 
 // Thread is one kernel thread.
@@ -45,7 +49,7 @@ func (p *ThreadPkg) Fork(name string, body func()) *Thread {
 // Join blocks the calling thread until t terminates. Must be called from
 // strand context (inside a running strand's body).
 func (p *ThreadPkg) Join(t *Thread) {
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	cur := p.sched.Current()
 	if t.done || cur == nil {
 		return
@@ -73,7 +77,7 @@ func (p *ThreadPkg) NewMutex() *Mutex { return &Mutex{pkg: p} }
 // Lock acquires m, blocking the calling strand while m is held.
 func (m *Mutex) Lock() {
 	p := m.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	cur := p.sched.Current()
 	if m.holder == nil {
 		m.holder = cur
@@ -87,7 +91,7 @@ func (m *Mutex) Lock() {
 // Unlock releases m, handing it to the first waiter if any.
 func (m *Mutex) Unlock() {
 	p := m.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	if len(m.waiters) == 0 {
 		m.holder = nil
 		return
@@ -110,7 +114,7 @@ func (p *ThreadPkg) NewCondition() *Condition { return &Condition{pkg: p} }
 // Wait atomically releases m and blocks; on wakeup it reacquires m.
 func (c *Condition) Wait(m *Mutex) {
 	p := c.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	cur := p.sched.Current()
 	c.waiters = append(c.waiters, cur)
 	m.Unlock()
@@ -121,7 +125,7 @@ func (c *Condition) Wait(m *Mutex) {
 // Signal wakes one waiter.
 func (c *Condition) Signal() {
 	p := c.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	if len(c.waiters) == 0 {
 		return
 	}
@@ -133,7 +137,7 @@ func (c *Condition) Signal() {
 // Broadcast wakes all waiters.
 func (c *Condition) Broadcast() {
 	p := c.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	for _, w := range c.waiters {
 		p.sched.Unblock(w)
 	}
@@ -157,7 +161,7 @@ func (p *ThreadPkg) NewSemaphore(initial int) *Semaphore {
 // P decrements the semaphore, blocking while it is zero.
 func (s *Semaphore) P() {
 	p := s.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	if s.count > 0 {
 		s.count--
 		return
@@ -171,7 +175,7 @@ func (s *Semaphore) P() {
 // woken strand owns the count it was waiting for).
 func (s *Semaphore) V() {
 	p := s.pkg
-	p.clock.Advance(p.prof.SyncOp)
+	p.charge()
 	if len(s.waiters) > 0 {
 		next := s.waiters[0]
 		s.waiters = s.waiters[1:]

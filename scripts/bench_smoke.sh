@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Bench-regression smoke: run the dispatcher fast-path benchmark, the
+# Table 3 thread-management benchmark, and the parallel-strand scaling
+# benchmark; emit the results as BENCH_sched.json; fail the build if
+#   - the dispatch raise fast path regressed more than 10% against the
+#     committed BENCH_baseline.json, or
+#   - 4 virtual CPUs no longer deliver >= 2x the 1-CPU strand throughput.
+#
+# The dispatch number is the min over BENCH_COUNT runs: the fast path is a
+# ~50ns atomic-load loop, so min-of-N is the noise-robust statistic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs=${BENCH_COUNT:-5}
+out=${BENCH_OUT:-BENCH_sched.json}
+baseline=${BENCH_BASELINE:-BENCH_baseline.json}
+
+echo "== dispatch raise fast path (min of $runs runs) =="
+dispatch_out=$(go test -run '^$' -bench 'DispatchRaiseParallel1$' -benchtime=300000x -count="$runs" .)
+echo "$dispatch_out"
+dispatch_ns=$(echo "$dispatch_out" | awk '$1 ~ /^BenchmarkDispatchRaiseParallel1($|-)/ {print $3}' | sort -g | head -1)
+
+# metric extracts a named custom metric ("value unit" pairs) from a
+# benchmark output line.
+metric() { # metric <output> <bench-name-prefix> <unit>
+  echo "$1" | awk -v bench="$2" -v unit="$3" '
+    $1 ~ "^"bench"($|-)" { for (i = 2; i <= NF; i++) if ($i == unit) print $(i-1) }'
+}
+
+echo "== Table 3 thread management =="
+table3_out=$(go test -run '^$' -bench 'Table3Threads$' -benchtime=1x .)
+echo "$table3_out"
+forkjoin=$(metric "$table3_out" BenchmarkTable3Threads "spin-kern-forkjoin-µs")
+pingpong=$(metric "$table3_out" BenchmarkTable3Threads "spin-kern-pingpong-µs")
+
+echo "== parallel strand scaling =="
+par_out=$(go test -run '^$' -bench 'ParallelStrands(1|4)$' -benchtime=1x .)
+echo "$par_out"
+mk1=$(metric "$par_out" BenchmarkParallelStrands1 "makespan-µs")
+mk4=$(metric "$par_out" BenchmarkParallelStrands4 "makespan-µs")
+steals4=$(metric "$par_out" BenchmarkParallelStrands4 "steals")
+
+for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4"; do
+  if [ -z "$v" ]; then
+    echo "FAIL: could not parse a benchmark metric" >&2
+    exit 1
+  fi
+done
+
+cat > "$out" <<JSON
+{
+  "dispatch_raise_ns": $dispatch_ns,
+  "table3_spin_kern_forkjoin_us": $forkjoin,
+  "table3_spin_kern_pingpong_us": $pingpong,
+  "parallel_makespan_1cpu_us": $mk1,
+  "parallel_makespan_4cpu_us": $mk4,
+  "parallel_steals_4cpu": $steals4
+}
+JSON
+echo "wrote $out:"
+cat "$out"
+
+base_ns=$(awk -F'[:,]' '/"dispatch_raise_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_ns" ]; then
+  echo "FAIL: no dispatch_raise_ns in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$dispatch_ns" -v base="$base_ns" 'BEGIN {
+  limit = base * 1.10
+  printf "dispatch fast path: %s ns/op (baseline %s, limit %.2f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: dispatch raise fast path regressed >10% vs committed baseline"; exit 1 }
+}'
+awk -v one="$mk1" -v four="$mk4" 'BEGIN {
+  if (four + 0 <= 0 || one / four < 2) {
+    printf "FAIL: 4-CPU parallel-strand speedup %.2fx, want >= 2x\n", one / four; exit 1
+  }
+  printf "parallel strands: 4-CPU speedup %.2fx in virtual time\n", one / four
+}'
+echo "bench smoke OK"

@@ -95,6 +95,11 @@ type Config struct {
 	Profile *sim.Profile
 	// CacheBlocks sizes the file system buffer cache (default 256).
 	CacheBlocks int
+	// CPUs is the number of virtual processors the strand scheduler
+	// multiplexes (default 1). CPU 0 is the boot CPU, sharing the
+	// machine's engine; each extra CPU gets its own engine and clock, and
+	// idle CPUs steal queued strands from their siblings.
+	CPUs int
 }
 
 // NewMachine boots a SPIN kernel.
@@ -131,7 +136,11 @@ func NewMachine(name string, cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spin: boot vm: %w", err)
 	}
-	m.Sched, err = strand.NewScheduler(eng, cfg.Profile, m.Dispatcher)
+	engines := []*sim.Engine{eng}
+	for i := 1; i < cfg.CPUs; i++ {
+		engines = append(engines, sim.NewEngine())
+	}
+	m.Sched, err = strand.NewMultiScheduler(cfg.Profile, m.Dispatcher, engines...)
 	if err != nil {
 		return nil, fmt.Errorf("spin: boot scheduler: %w", err)
 	}
