@@ -320,3 +320,78 @@ func BenchmarkParallelStrands1(b *testing.B) { benchmarkParallelStrands(b, 1) }
 func BenchmarkParallelStrands2(b *testing.B) { benchmarkParallelStrands(b, 2) }
 func BenchmarkParallelStrands4(b *testing.B) { benchmarkParallelStrands(b, 4) }
 func BenchmarkParallelStrands8(b *testing.B) { benchmarkParallelStrands(b, 8) }
+
+// --- C10M: connection scaling and steady-state RX -------------------------
+
+// benchmarkConnScaling runs one MeasureConnScaling sweep of n connections
+// per iteration and reports per-connection setup cost and heap.
+func benchmarkConnScaling(b *testing.B, n int) {
+	var last bench.ConnScaleResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.MeasureConnScaling(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.SetupNsPerConn, "conn-setup-ns")
+	b.ReportMetric(last.BytesPerConn, "B/conn")
+	b.ReportMetric(float64(last.Conns), "conns")
+}
+
+// BenchmarkMillionConns holds 2^20 concurrent established connections in
+// one stack — the C10M scaling claim. Setup cost must stay O(1) in table
+// size: an insert copies one ~16-entry shard, never the table (compare
+// BenchmarkTCPConnSetup at 1/16 the size; residual growth is GC mark work
+// over the live heap, not table copying).
+func BenchmarkMillionConns(b *testing.B) { benchmarkConnScaling(b, 1<<20) }
+
+// BenchmarkTCPConnSetup is the smoke-gated setup-cost probe: small enough
+// to run in CI, same code path as BenchmarkMillionConns.
+func BenchmarkTCPConnSetup(b *testing.B) { benchmarkConnScaling(b, 1<<16) }
+
+// BenchmarkTCPSteadyRX measures steady-state segment delivery on one
+// established connection, driven straight into the TCP module. The path —
+// shard lookup, state machine, pooled ACK — must run at zero heap
+// allocations per packet (the smoke gate fails on any growth).
+func BenchmarkTCPSteadyRX(b *testing.B) {
+	eng := sim.NewEngine()
+	prof := &sim.SPINProfile
+	d := dispatch.New(eng, prof)
+	st, err := netstack.NewStack("bench", netstack.Addr(10, 0, 0, 1), eng, prof, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tcp := st.TCP()
+	consumed := 0
+	if err := tcp.Listen(80, nil, func(c *netstack.Conn) {
+		c.OnData = func(_ *netstack.Conn, d []byte) { consumed += len(d) }
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pkt := &netstack.Packet{
+		Src: netstack.Addr(10, 0, 0, 2), SrcPort: 4000,
+		Dst: st.IP, DstPort: 80, Proto: netstack.ProtoTCP,
+	}
+	pkt.Flags, pkt.Seq, pkt.Window = netstack.FlagSYN, 10, 32*1024
+	tcp.Deliver(pkt)
+	pkt.Flags, pkt.Seq, pkt.Ack = netstack.FlagACK, 11, 1001
+	tcp.Deliver(pkt)
+	if tcp.Conns() != 1 {
+		b.Fatal("handshake failed")
+	}
+	payload := make([]byte, 32)
+	pkt.Payload = payload
+	seq := uint32(11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.Seq = seq
+		tcp.Deliver(pkt)
+		seq += uint32(len(payload))
+	}
+	b.StopTimer()
+	if consumed != b.N*len(payload) {
+		b.Fatalf("consumed %d bytes, want %d", consumed, b.N*len(payload))
+	}
+}

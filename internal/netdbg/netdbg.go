@@ -203,7 +203,9 @@ func (d *Debugger) mem() string {
 func (d *Debugger) net() string {
 	st := d.target.Net
 	rx, tx := st.Stats()
-	return fmt.Sprintf("net %s (%v): rx=%d tx=%d tcp-conns=%d", st.Host, st.IP, rx, tx, st.TCP().Conns())
+	ts := st.TCP().Stats()
+	return fmt.Sprintf("net %s (%v): rx=%d tx=%d tcp-conns=%d half-open=%d evicted=%d resets=%d",
+		st.Host, st.IP, rx, tx, ts.Conns, ts.HalfOpen, ts.HalfOpenEvicted, ts.Resets)
 }
 
 // Query sends one debugger command from a client stack and invokes done

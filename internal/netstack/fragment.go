@@ -140,6 +140,9 @@ func newReassembly() *reassembly {
 }
 
 // sendFragmented splits pkt into MTU-sized fragments and transmits each.
+// Each fragment is a pooled packet with its own payload copy (a fragment in
+// flight must not alias the original, which is released here); the
+// reference the caller donated for pkt is consumed.
 func (s *Stack) sendFragmented(pkt *Packet, nic *sal.NIC, mtu int) error {
 	transportHdr := pkt.WireSize() - EtherHeader - IPHeader - len(pkt.Payload)
 	maxPayload := mtu - IPHeader - transportHdr
@@ -153,18 +156,21 @@ func (s *Stack) sendFragmented(pkt *Packet, nic *sal.NIC, mtu int) error {
 		if end > len(payload) {
 			end = len(payload)
 		}
-		frag := *pkt
-		frag.Payload = payload[off:end]
+		frag := AllocPacket()
+		frag.CopyHeaderFrom(pkt)
+		frag.SetPayload(payload[off:end])
 		frag.FragID = id
 		frag.FragOffset = off
 		frag.MoreFrags = end < len(payload)
-		frag.Claimed = false
 		// Per-fragment IP header build.
 		s.clock.Advance(s.profile.ProtoLayer / 2)
-		if err := nic.Send(sal.NetFrame{Size: frag.WireSize(), Payload: &frag}); err != nil {
+		if err := nic.Send(sal.NetFrame{Size: frag.WireSize(), Payload: frag}); err != nil {
+			frag.Release()
+			pkt.Release()
 			return err
 		}
 	}
+	pkt.Release()
 	return nil
 }
 
@@ -210,13 +216,16 @@ func (r *reassembly) reassemble(pkt *Packet, now sim.Time) (*Packet, sim.Duratio
 	}
 	if buf.complete() {
 		delete(sh.parts, key)
-		whole := buf.template
-		whole.Payload = buf.data[:buf.total]
+		// The whole datagram is a pooled packet adopting the buffer the
+		// reassembler built — no final copy. The caller (receive1) owns
+		// the reference and releases it after delivery.
+		whole := AllocPacket()
+		whole.CopyHeaderFrom(&buf.template)
+		whole.adoptPayload(buf.data[:buf.total])
 		whole.FragID = 0
 		whole.FragOffset = 0
 		whole.MoreFrags = false
-		whole.Claimed = false
-		return &whole, now.Sub(buf.firstAt)
+		return whole, now.Sub(buf.firstAt)
 	}
 	return nil, 0
 }

@@ -12,7 +12,11 @@
 // frames travel between machines over sal NIC/link models.
 package netstack
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // IPAddr is an IPv4-style address.
 type IPAddr uint32
@@ -108,6 +112,116 @@ type Packet struct {
 	FragID     uint32
 	FragOffset int
 	MoreFrags  bool
+
+	// Pool state. pooled marks packets from AllocPacket; refs is their
+	// reference count, manipulated atomically (a plain int32 rather than
+	// atomic.Int32 so existing by-value Packet copies stay legal — copies
+	// clear it). Both are zero on ordinary &Packet{} literals, which makes
+	// Retain/Release strict no-ops for them.
+	pooled bool
+	refs   int32
+}
+
+// Pooled, refcounted packets. At C10M rates the receive path cannot afford
+// one garbage-collected Packet (plus payload) per segment: steady-state
+// delivery must run at zero allocations per packet. Packets that flow
+// through the wire or the RX queues therefore come from a sync.Pool and
+// carry a reference count.
+//
+// Ownership protocol:
+//
+//   - AllocPacket returns a packet with one reference, owned by the caller.
+//   - Handing a packet to SendIP / NIC.Send / enqueueRX donates that
+//     reference: the stack releases it after transmission or delivery
+//     (including the drop paths — full RX queue, no route, injected loss).
+//   - Handlers reached during delivery borrow the packet: its payload is
+//     valid only for the duration of the callback. A handler that keeps
+//     data must copy it (every in-tree handler does), and one that re-sends
+//     the packet itself must Clone or Retain.
+//   - Release on a non-pooled packet is a no-op, so tests and benchmarks
+//     may still inject plain &Packet{} literals (even the same one
+//     repeatedly).
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// maxPooledPayload bounds the payload capacity a packet keeps when it
+// returns to the pool; larger buffers (reassembled jumbo datagrams) are
+// dropped for the GC so the pool holds only MTU-scale memory.
+const maxPooledPayload = 16 << 10
+
+// AllocPacket returns a zeroed packet from the pool with one reference,
+// owned by the caller. Pass it to a send/enqueue entry point (donating the
+// reference) or Release it.
+func AllocPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	p.pooled = true
+	atomic.StoreInt32(&p.refs, 1)
+	return p
+}
+
+// Retain adds a reference and returns p, for handing the same packet to a
+// second owner. No-op on non-pooled packets.
+func (p *Packet) Retain() *Packet {
+	if p.pooled {
+		atomic.AddInt32(&p.refs, 1)
+	}
+	return p
+}
+
+// Release drops one reference; the last release zeroes the packet and
+// returns it (payload buffer included) to the pool. Strict no-op for
+// packets not obtained from AllocPacket.
+func (p *Packet) Release() {
+	if !p.pooled {
+		return
+	}
+	n := atomic.AddInt32(&p.refs, -1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("netstack: Packet released more times than retained")
+	}
+	payload := p.Payload
+	if cap(payload) > maxPooledPayload {
+		payload = nil
+	}
+	*p = Packet{Payload: payload[:0]}
+	pktPool.Put(p)
+}
+
+// SetPayload copies b into the packet's own buffer (reusing pooled
+// capacity), so the caller keeps ownership of b.
+func (p *Packet) SetPayload(b []byte) {
+	p.Payload = append(p.Payload[:0], b...)
+}
+
+// AllocPayload sets the payload to n zero bytes, reusing the packet's
+// buffer when it is large enough, and returns the slice.
+func (p *Packet) AllocPayload(n int) []byte {
+	if cap(p.Payload) < n {
+		p.Payload = make([]byte, n)
+	} else {
+		p.Payload = p.Payload[:n]
+		for i := range p.Payload {
+			p.Payload[i] = 0
+		}
+	}
+	return p.Payload
+}
+
+// adoptPayload hands the packet ownership of buf directly (no copy) — for
+// reassembly, which built the buffer itself and discards it afterwards.
+func (p *Packet) adoptPayload(buf []byte) {
+	p.Payload = buf
+}
+
+// CopyHeaderFrom copies every header field of src into p, leaving p's
+// payload and pool state untouched.
+func (p *Packet) CopyHeaderFrom(src *Packet) {
+	payload, pooled, refs := p.Payload, p.pooled, p.refs
+	*p = *src
+	p.Payload, p.pooled, p.refs = payload, pooled, refs
+	p.Claimed = false
 }
 
 // WireSize returns the packet's size on the wire including link, network
@@ -126,12 +240,13 @@ func (p *Packet) WireSize() int {
 }
 
 // Clone returns a deep copy (payload included); forwarding and multicast
-// paths copy so that later mutation does not alias.
+// paths copy so that later mutation does not alias. The clone is a fresh
+// pooled packet with its own single reference.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	q.Payload = append([]byte(nil), p.Payload...)
-	q.Claimed = false
-	return &q
+	q := AllocPacket()
+	q.CopyHeaderFrom(p)
+	q.SetPayload(p.Payload)
+	return q
 }
 
 func (p *Packet) String() string {

@@ -68,6 +68,24 @@ type rxQueue struct {
 	ch        chan *Packet
 	accepted  atomic.Int64
 	dropped   atomic.Int64
+	// batch is the drain's scratch buffer (capacity rxBatch), owned by
+	// whichever single goroutine is draining this queue — the engine in
+	// simulation mode, the queue's worker in parallel mode.
+	batch []*Packet
+}
+
+// rxCtx is the receive context shared by every packet of one drained batch:
+// the dispatcher's tracer and fault-injector pointers are loaded once per
+// batch instead of once per packet, amortizing the snapshot loads across
+// the batch.
+type rxCtx struct {
+	tr  *trace.Tracer
+	inj *faultinject.Injector
+}
+
+// rxctx snapshots the current receive context.
+func (s *Stack) rxctx() rxCtx {
+	return rxCtx{tr: s.disp.Tracer(), inj: s.disp.InjectorInstalled()}
 }
 
 // Stack is one machine's protocol stack. It attaches NIC drivers at the
@@ -181,12 +199,11 @@ func NewStack(host string, ip IPAddr, engine *sim.Engine, profile *sim.Profile, 
 	_, err := disp.Install(EvICMPArrived, func(arg, _ any) any {
 		pkt := arg.(*Packet)
 		if pkt.ICMPType == 8 { // echo request -> reply
-			reply := &Packet{
-				Src: s.IP, Dst: pkt.Src, Proto: ProtoICMP,
-				ICMPType: 0, ICMPSeq: pkt.ICMPSeq,
-				Payload: append([]byte(nil), pkt.Payload...),
-				TTL:     32,
-			}
+			reply := AllocPacket()
+			reply.Src, reply.Dst, reply.Proto = s.IP, pkt.Src, ProtoICMP
+			reply.ICMPType, reply.ICMPSeq = 0, pkt.ICMPSeq
+			reply.SetPayload(pkt.Payload)
+			reply.TTL = 32
 			_ = s.SendIP(reply)
 			return true
 		}
@@ -232,7 +249,11 @@ func (s *Stack) Attach(nic *sal.NIC) {
 	if nic.Model.CellSize > 0 {
 		linkEvent = EvATMArrived
 	}
-	q := &rxQueue{nic: nic, linkEvent: linkEvent, ch: make(chan *Packet, DefaultRXQueueDepth)}
+	q := &rxQueue{
+		nic: nic, linkEvent: linkEvent,
+		ch:    make(chan *Packet, DefaultRXQueueDepth),
+		batch: make([]*Packet, 0, rxBatch),
+	}
 	old := *s.rxqs.Load()
 	next := make([]*rxQueue, len(old)+1)
 	copy(next, old)
@@ -244,7 +265,13 @@ func (s *Stack) Attach(nic *sal.NIC) {
 		if !ok {
 			return false
 		}
-		return s.enqueueRX(q, pkt)
+		if !s.enqueueRX(q, pkt) {
+			// The sender donated its reference; a queue-full drop is the
+			// end of the packet's life.
+			pkt.Release()
+			return false
+		}
+		return true
 	}
 }
 
@@ -272,40 +299,69 @@ func (s *Stack) enqueueRX(q *rxQueue, pkt *Packet) bool {
 	}
 }
 
-// drainRX dequeues up to max packets and pushes each up the graph, charging
-// the protocol-thread context switch per packet. It returns how many ran.
+// drainRX dequeues up to max packets in batches of rxBatch and pushes each
+// up the graph, charging the protocol-thread context switch per packet. The
+// receive context (tracer, injector) is loaded once per batch. It returns
+// how many packets ran. Single-drainer per queue: it uses q.batch.
 func (s *Stack) drainRX(q *rxQueue, max int) int {
-	n := 0
-	for n < max {
-		select {
-		case pkt := <-q.ch:
-			s.clock.Advance(s.profile.ContextSwitch)
-			s.safeReceive(q.linkEvent, pkt)
-			n++
-		default:
-			return n
+	total := 0
+	for total < max {
+		lim := max - total
+		if lim > rxBatch {
+			lim = rxBatch
+		}
+		b := q.batch[:0]
+	fill:
+		for len(b) < lim {
+			select {
+			case pkt := <-q.ch:
+				b = append(b, pkt)
+			default:
+				break fill
+			}
+		}
+		if len(b) == 0 {
+			return total
+		}
+		s.receiveBatch(q.linkEvent, b)
+		total += len(b)
+		if len(b) < lim {
+			return total // queue drained
 		}
 	}
-	return n
+	return total
+}
+
+// receiveBatch runs one dequeued batch up the graph under a shared receive
+// context, releasing each packet after its synchronous delivery (handlers
+// that keep payload bytes have copied them by then).
+func (s *Stack) receiveBatch(linkEvent string, pkts []*Packet) {
+	ctx := s.rxctx()
+	for i, pkt := range pkts {
+		s.clock.Advance(s.profile.ContextSwitch)
+		s.safeReceive(ctx, linkEvent, pkt)
+		pkt.Release()
+		pkts[i] = nil
+	}
 }
 
 // safeReceive pushes one packet up the graph behind a panic guard: a handler
 // panic that escapes the dispatcher's containment (or an injected one from
 // the "net.rx" site) is recovered here, counted, and traced — the packet is
 // lost, the RX worker (or the engine's drain step) keeps draining.
-func (s *Stack) safeReceive(linkEvent string, pkt *Packet) {
+func (s *Stack) safeReceive(ctx rxCtx, linkEvent string, pkt *Packet) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.rxPanics.Add(1)
-			if tr := s.disp.Tracer(); tr != nil {
-				tr.Trace(trace.Record{
+			if ctx.tr != nil {
+				ctx.tr.Trace(trace.Record{
 					Event: "net.rx.panic", Origin: "net",
 					Start: s.clock.Now(), Outcome: trace.OutcomeFaulted,
 				})
 			}
 		}
 	}()
-	s.receive(linkEvent, pkt)
+	s.receive(ctx, linkEvent, pkt)
 }
 
 // StartRXWorkers switches the stack to parallel receive: one goroutine per
@@ -336,11 +392,20 @@ func (s *Stack) StartRXWorkers() {
 				case <-stop:
 					return
 				case pkt := <-q.ch:
-					s.clock.Advance(s.profile.ContextSwitch)
-					s.safeReceive(q.linkEvent, pkt)
-					// Batch: drain what else accumulated before blocking
-					// again.
-					s.drainRX(q, rxBatch-1)
+					// Batch: gather what else accumulated before
+					// processing, so per-batch work (context snapshot,
+					// trace loads) amortizes.
+					b := append(q.batch[:0], pkt)
+				fill:
+					for len(b) < rxBatch {
+						select {
+						case p := <-q.ch:
+							b = append(b, p)
+						default:
+							break fill
+						}
+					}
+					s.receiveBatch(q.linkEvent, b)
 				}
 			}
 		}()
@@ -362,7 +427,10 @@ func (s *Stack) StopRXWorkers() {
 // InjectRX enqueues pkt directly on the nicIndex'th attached NIC's receive
 // queue, bypassing the wire — the entry point for parallel RX tests and
 // benchmarks (safe from any goroutine once StartRXWorkers is running). It
-// reports false if the queue was full and the packet dropped.
+// reports false if the queue was full and the packet was not enqueued; on
+// false the caller keeps its reference (it may retry), on true the stack
+// takes ownership of pooled packets (non-pooled ones are unaffected —
+// Release is a no-op — so tests may re-inject the same literal).
 func (s *Stack) InjectRX(nicIndex int, pkt *Packet) bool {
 	qs := *s.rxqs.Load()
 	if nicIndex < 0 || nicIndex >= len(qs) {
@@ -459,22 +527,22 @@ func (s *Stack) routeFor(dst IPAddr) *sal.NIC {
 
 // receive pushes one packet up the graph, timing the whole inbound path
 // when tracing is enabled (the tracer pointer is the dispatcher's single
-// enable/disable switch, so the disabled cost is one nil load per packet).
-func (s *Stack) receive(linkEvent string, pkt *Packet) {
-	tr := s.disp.Tracer()
-	if tr == nil {
-		s.receive1(linkEvent, pkt)
+// enable/disable switch, loaded once per batch into ctx, so the disabled
+// cost is one nil check per packet).
+func (s *Stack) receive(ctx rxCtx, linkEvent string, pkt *Packet) {
+	if ctx.tr == nil {
+		s.receive1(ctx, linkEvent, pkt)
 		return
 	}
 	start := s.clock.Now()
-	s.receive1(linkEvent, pkt)
-	tr.Observe("net.rx", s.clock.Now().Sub(start))
+	s.receive1(ctx, linkEvent, pkt)
+	ctx.tr.Observe("net.rx", s.clock.Now().Sub(start))
 }
 
-func (s *Stack) receive1(linkEvent string, pkt *Packet) {
+func (s *Stack) receive1(ctx rxCtx, linkEvent string, pkt *Packet) {
 	// Injection site "net.rx": drop/error discards the packet before the
 	// graph sees it; a panic rule exercises the safeReceive guard.
-	if f := s.disp.InjectorInstalled().Fire("net.rx"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
+	if f := ctx.inj.Fire("net.rx"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
 		return
 	}
 	s.received.Add(1)
@@ -498,7 +566,7 @@ func (s *Stack) receive1(linkEvent string, pkt *Packet) {
 		// Injection site "net.ip.reassemble": losing a fragment leaves a
 		// partial buffer for the TTL sweep to evict — the leak the
 		// reassembler must absorb.
-		if f := s.disp.InjectorInstalled().Fire("net.ip.reassemble"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
+		if f := ctx.inj.Fire("net.ip.reassemble"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
 			return
 		}
 		s.clock.Advance(s.profile.ProtoLayer / 2)
@@ -506,10 +574,14 @@ func (s *Stack) receive1(linkEvent string, pkt *Packet) {
 		if whole == nil {
 			return // awaiting more fragments
 		}
-		if tr := s.disp.Tracer(); tr != nil {
+		if ctx.tr != nil {
 			// Reassembly latency: first fragment arrival to completion.
-			tr.Observe("net.ip.reassemble", waited)
+			ctx.tr.Observe("net.ip.reassemble", waited)
 		}
+		// The reassembled datagram is a fresh pooled packet; released
+		// here after its synchronous delivery (the fragment that
+		// completed it is released by the batch drain as usual).
+		defer whole.Release()
 		pkt = whole
 	}
 	// Transport layer: header processing plus checksum verification over
@@ -525,7 +597,7 @@ func (s *Stack) receive1(linkEvent string, pkt *Packet) {
 		}
 	case ProtoTCP:
 		if claimed, _ := s.disp.Raise(EvTCPArrived, pkt).(bool); !claimed {
-			s.tcp.deliver(pkt)
+			s.tcp.deliver(ctx, pkt)
 		}
 	}
 }
@@ -537,13 +609,17 @@ var ErrNoRoute = errors.New("netstack: no route to host")
 // (~1 cycle/byte at 133 MHz). Charged once on send and once on receive.
 const ChecksumPerByte = 8 * sim.Nanosecond
 
-// SendIP transmits pkt: transport+IP header build, then the driver.
+// SendIP transmits pkt: transport+IP header build, then the driver. The
+// caller donates its reference to pkt; the stack releases it on every
+// failure path, and delivery on the receiving machine releases it after the
+// handlers run.
 func (s *Stack) SendIP(pkt *Packet) error {
 	if pkt.TTL == 0 {
 		pkt.TTL = 32
 	}
 	nic := s.routeFor(pkt.Dst)
 	if nic == nil {
+		pkt.Release()
 		return ErrNoRoute
 	}
 	// Transport + IP header construction, plus the transport checksum
@@ -554,7 +630,11 @@ func (s *Stack) SendIP(pkt *Packet) error {
 	if mtu := mtuFor(nic); pkt.WireSize()-EtherHeader > mtu {
 		return s.sendFragmented(pkt, nic, mtu)
 	}
-	return nic.Send(sal.NetFrame{Size: pkt.WireSize(), Payload: pkt})
+	if err := nic.Send(sal.NetFrame{Size: pkt.WireSize(), Payload: pkt}); err != nil {
+		pkt.Release()
+		return err
+	}
+	return nil
 }
 
 // Ping sends an ICMP echo request; reply invokes cb with the round-trip
@@ -575,10 +655,12 @@ func (s *Stack) Ping(dst IPAddr, seq uint16, payload int, cb func(rtt sim.Durati
 		return err
 	}
 	_ = ref
-	return s.SendIP(&Packet{
-		Src: s.IP, Dst: dst, Proto: ProtoICMP,
-		ICMPType: 8, ICMPSeq: seq, Payload: make([]byte, payload), TTL: 32,
-	})
+	req := AllocPacket()
+	req.Src, req.Dst, req.Proto = s.IP, dst, ProtoICMP
+	req.ICMPType, req.ICMPSeq = 8, seq
+	req.AllocPayload(payload)
+	req.TTL = 32
+	return s.SendIP(req)
 }
 
 // Stats reports packets received and sent at the IP layer. Counters are

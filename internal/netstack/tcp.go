@@ -48,10 +48,86 @@ const retxTimeout = 200 * sim.Millisecond
 // timeWaitDelay is the TIME_WAIT linger before the connection is reaped.
 const timeWaitDelay = 500 * sim.Millisecond
 
-type connKey struct {
-	remote     IPAddr
-	remotePort uint16
-	localPort  uint16
+// serverISS is the deterministic initial send sequence for server-side
+// connections (clients use 100); fixed values keep the simulation
+// replayable.
+const serverISS = 1000
+
+// Connection-table sharding. The table is split into a fixed power-of-two
+// number of shards by a hash of the 4-tuple key; each shard is an
+// independently swapped copy-on-write snapshot, so connection setup or
+// teardown copies one shard — a few hundred entries at a million
+// connections — never the whole table.
+// 2^16 shards keep a shard to ~16 entries at a million connections, so the
+// COW copy an insert pays stays a few hundred bytes at any scale. The
+// empty table costs ~1.5 MB per stack — the C10M trade.
+const (
+	tcpShards    = 1 << 16
+	tcpShardMask = tcpShards - 1
+)
+
+// Half-open (SYN received, final ACK pending) table bounds. A SYN costs one
+// compact entry in a bounded table, syncookie-style — never a *Conn — so a
+// SYN flood is capped at MaxHalfOpen entries of a few dozen bytes each.
+const (
+	synShards = 64
+	// MaxHalfOpen bounds the half-open table across all shards; beyond it
+	// the oldest entries are evicted (counted in TCPStats.HalfOpenEvicted).
+	MaxHalfOpen         = 4096
+	maxHalfOpenPerShard = MaxHalfOpen / synShards
+	// synTTL evicts half-open entries whose final ACK never arrived.
+	synTTL = 5 * sim.Second
+)
+
+// connKey packs the 4-tuple that identifies a connection — remote address,
+// remote port, local port (the local address is the stack's own) — into one
+// comparable word.
+type connKey uint64
+
+func tcpKey(remote IPAddr, remotePort, localPort uint16) connKey {
+	return connKey(uint64(remote)<<32 | uint64(remotePort)<<16 | uint64(localPort))
+}
+
+// hash mixes the packed key (splitmix64 finalizer) so that sequential ports
+// and addresses spread across shards.
+func (k connKey) hash() uint64 {
+	h := uint64(k)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// connShard is one slice of the connection table: a copy-on-write sorted
+// slice behind an atomic pointer. Lookup is a lock-free load plus binary
+// search (zero allocations); insert/remove copy the slice under the shard
+// mutex and swap. The per-shard counter keeps Conns() exact without
+// touching the snapshots.
+type connShard struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[[]connEntry]
+	n   atomic.Int64
+}
+
+type connEntry struct {
+	key connKey
+	c   *Conn
+}
+
+// synEntry is the compact half-open record for a SYN awaiting its final
+// ACK: just enough to resend the SYN-ACK and materialize the connection.
+type synEntry struct {
+	rcvNxt uint32   // peer ISS + 1
+	iss    uint32   // our initial send sequence for the SYN-ACK
+	wnd    int      // peer's advertised window from the SYN
+	at     sim.Time // arrival, for TTL/oldest eviction
+}
+
+type synShard struct {
+	mu sync.Mutex
+	m  map[connKey]synEntry
 }
 
 // Conn is one TCP connection endpoint.
@@ -73,6 +149,7 @@ type Conn struct {
 	sndWnd         int // peer's advertised window, bytes
 	retxEv         *sim.Event
 	retransmits    int64
+	zeroWndProbes  int64
 
 	// Receive side.
 	rcvNxt uint32
@@ -86,8 +163,10 @@ type Conn struct {
 	// OnClose fires when the connection fully closes.
 	OnClose func(*Conn)
 
-	// acceptCb is the listener's accept callback, held until the
-	// handshake completes on server-side connections.
+	// acceptCb is the listener's accept callback. On server-side
+	// connections it is published on the Conn before the Conn enters the
+	// connection table, so a concurrent delivery can never observe the
+	// connection without it.
 	acceptCb func(*Conn)
 
 	peerClosed bool
@@ -109,6 +188,10 @@ func (c *Conn) Remote() (IPAddr, uint16) { return c.remote, c.remotePort }
 // Retransmits reports how many segments were retransmitted.
 func (c *Conn) Retransmits() int64 { return c.retransmits }
 
+// ZeroWindowProbes reports how many persist probes were sent against a
+// peer's zero-window advertisement.
+func (c *Conn) ZeroWindowProbes() int64 { return c.zeroWndProbes }
+
 // Listener accepts inbound connections on a port.
 type Listener struct {
 	port   uint16
@@ -121,45 +204,136 @@ type Listener struct {
 // TCP engine as a kernel-asserted extension; here the engine is implemented
 // natively, which only strengthens the reproduction.
 //
-// The connection and listener tables are copy-on-write snapshots behind
-// atomic pointers: deliver's per-segment lookup is lock-free; writers
-// (Listen, Unlisten, Connect, connection setup/teardown) copy under a
-// mutex and swap. Individual Conn state machines remain single-threaded —
-// segments for one connection must be delivered from the simulation
-// goroutine, since handling them transmits and arms timers.
+// The connection table is sharded (see connShard): the per-segment lookup
+// is a lock-free snapshot load plus binary search, and setup/teardown
+// writers contend only within one shard. The listener table is a single
+// copy-on-write map (listeners change rarely). Individual Conn state
+// machines remain single-threaded — segments for one connection must be
+// delivered from the simulation goroutine, since handling them transmits
+// and arms timers.
 type TCP struct {
 	stack *Stack
 
-	// mu serializes table writers and the ephemeral-port scan.
+	// mu serializes listener-table writers and the ephemeral-port cursor.
 	mu        sync.Mutex
-	conns     atomic.Pointer[map[connKey]*Conn]
 	listeners atomic.Pointer[map[uint16]*Listener]
 	nextPort  uint16 // guarded by mu
+
+	shards []connShard
+	syn    []synShard
+
+	accepted        atomic.Int64
+	resets          atomic.Int64
+	halfOpenEvicted atomic.Int64
 }
 
 func newTCP(s *Stack) *TCP {
-	t := &TCP{stack: s, nextPort: 30000}
-	emptyConns := make(map[connKey]*Conn)
-	t.conns.Store(&emptyConns)
+	t := &TCP{
+		stack:    s,
+		nextPort: 30000,
+		shards:   make([]connShard, tcpShards),
+		syn:      make([]synShard, synShards),
+	}
+	for i := range t.syn {
+		t.syn[i].m = make(map[connKey]synEntry)
+	}
 	emptyListeners := make(map[uint16]*Listener)
 	t.listeners.Store(&emptyListeners)
 	return t
 }
 
-// storeConn publishes a new conns snapshot with key -> c added (or removed
-// when c is nil). Callers hold t.mu.
-func (t *TCP) storeConn(key connKey, c *Conn) {
-	old := *t.conns.Load()
-	next := make(map[connKey]*Conn, len(old)+1)
-	for k, v := range old {
-		next[k] = v
+func (t *TCP) connShardFor(key connKey) *connShard {
+	return &t.shards[key.hash()&tcpShardMask]
+}
+
+func (t *TCP) synShardFor(key connKey) *synShard {
+	return &t.syn[(key.hash()>>32)&(synShards-1)]
+}
+
+// lookup finds the connection for key: one atomic snapshot load and a
+// binary search, lock- and allocation-free.
+func (t *TCP) lookup(key connKey) *Conn {
+	tp := t.connShardFor(key).tab.Load()
+	if tp == nil {
+		return nil
 	}
-	if c == nil {
-		delete(next, key)
-	} else {
-		next[key] = c
+	tab := *tp
+	lo, hi := 0, len(tab)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tab[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	t.conns.Store(&next)
+	if lo < len(tab) && tab[lo].key == key {
+		return tab[lo].c
+	}
+	return nil
+}
+
+// insertConn publishes key -> c in its shard's sorted snapshot. The copy
+// touches one shard only, so setup cost is O(table/shards), not O(table).
+// It reports false — without modifying the table — if key is already
+// present (a concurrent materialization of the same connection won).
+func (t *TCP) insertConn(key connKey, c *Conn) bool {
+	sh := t.connShardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var old []connEntry
+	if tp := sh.tab.Load(); tp != nil {
+		old = *tp
+	}
+	lo, hi := 0, len(old)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if old[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+	if pos < len(old) && old[pos].key == key {
+		return false
+	}
+	next := make([]connEntry, len(old)+1)
+	copy(next, old[:pos])
+	next[pos] = connEntry{key: key, c: c}
+	copy(next[pos+1:], old[pos:])
+	sh.tab.Store(&next)
+	sh.n.Add(1)
+	return true
+}
+
+// removeConn withdraws key from its shard's snapshot, reporting whether it
+// was present.
+func (t *TCP) removeConn(key connKey) bool {
+	sh := t.connShardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tp := sh.tab.Load()
+	if tp == nil {
+		return false
+	}
+	old := *tp
+	pos := -1
+	for i := range old {
+		if old[i].key == key {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	next := make([]connEntry, len(old)-1)
+	copy(next, old[:pos])
+	copy(next[pos:], old[pos+1:])
+	sh.tab.Store(&next)
+	sh.n.Add(-1)
+	return true
 }
 
 // Listen accepts connections on port; accept runs when a connection reaches
@@ -240,7 +414,28 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 		cost = InKernelDelivery
 	}
 	t.mu.Lock()
-	local := t.ephemeralPortLocked()
+	// A local port only has to be unique per 4-tuple (full demux), so the
+	// same ephemeral port serves many remotes and outbound connection
+	// count is not capped by the port range. The scan is bounded: with
+	// fewer than 2^16 connections to this exact remote endpoint it
+	// terminates in a few probes.
+	var key connKey
+	local, found := t.nextPort, false
+	for i := 0; i < 1<<16; i++ {
+		t.nextPort++
+		if t.nextPort < 30000 {
+			t.nextPort = 30000 // wrapped uint16: stay out of the low range
+		}
+		key = tcpKey(dst, port, t.nextPort)
+		if t.lookup(key) == nil {
+			local, found = t.nextPort, true
+			break
+		}
+	}
+	if !found {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("netstack: no free local port for %v:%d: %w", dst, port, ErrPortsExhausted)
+	}
 	c := &Conn{
 		tcp: t, state: StateSynSent,
 		remote: dst, localPort: local, remotePort: port,
@@ -248,39 +443,18 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 		delivery: cost,
 		sndUna:   100, sndNxt: 100,
 	}
-	t.storeConn(connKey{dst, port, local}, c)
+	t.insertConn(key, c)
 	t.mu.Unlock()
-	c.sendSeg(&Packet{Flags: FlagSYN, Seq: c.sndNxt, Window: rcvWindow})
+	c.sendSeg(c.seg(FlagSYN, c.sndNxt, 0, nil))
 	c.sndNxt++
 	c.armRetx()
 	return c, nil
 }
 
-// ephemeralPortLocked picks a free local port. Callers hold t.mu.
-func (t *TCP) ephemeralPortLocked() uint16 {
-	conns := *t.conns.Load()
-	for {
-		t.nextPort++
-		if t.nextPort < 30000 {
-			t.nextPort = 30000 // wrapped uint16: stay out of the low range
-		}
-		free := true
-		for k := range conns {
-			if k.localPort == t.nextPort {
-				free = false
-				break
-			}
-		}
-		if free {
-			return t.nextPort
-		}
-	}
-}
-
 // Send queues payload for transmission.
 func (c *Conn) Send(payload []byte) error {
 	if c.closed || c.state != StateEstablished && c.state != StateCloseWait {
-		if c.state == StateSynSent || c.state == StateSynRcvd {
+		if c.state == StateSynSent {
 			// Queue until established.
 			c.sendBuf = append(c.sendBuf, payload...)
 			return nil
@@ -321,7 +495,7 @@ func (c *Conn) queueFIN() {
 }
 
 func (c *Conn) sendFIN() {
-	c.sendSeg(&Packet{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+	c.sendSeg(c.seg(FlagFIN|FlagACK, c.sndNxt, c.rcvNxt, nil))
 	c.inflight = append(c.inflight, segment{seq: c.sndNxt, fin: true})
 	c.sndNxt++
 	c.armRetx()
@@ -335,6 +509,13 @@ func (c *Conn) pump() {
 		return
 	}
 	for len(c.sendBuf) > 0 {
+		if c.sndWnd == 0 {
+			// Peer advertised a zero window: pause, and let the
+			// retransmission timer send persist probes (the peer owes us
+			// no ACK that would reopen the window unprompted).
+			c.armRetx()
+			return
+		}
 		inFlightBytes := int(c.sndNxt - c.sndUna)
 		windowBytes := c.cwnd * c.mss
 		if windowBytes > c.sndWnd {
@@ -355,7 +536,7 @@ func (c *Conn) pump() {
 		}
 		data := append([]byte(nil), c.sendBuf[:n]...)
 		c.sendBuf = c.sendBuf[n:]
-		c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow, Payload: data})
+		c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, data))
 		c.inflight = append(c.inflight, segment{seq: c.sndNxt, data: data})
 		c.sndNxt += uint32(n)
 		c.armRetx()
@@ -374,7 +555,19 @@ func (c *Conn) finInflight() bool {
 	return false
 }
 
-// sendSeg fills in addressing and transmits one segment.
+// seg allocates a pooled segment carrying this connection's receive window;
+// payload (if any) is copied into the packet's own buffer.
+func (c *Conn) seg(flags TCPFlags, seq, ack uint32, payload []byte) *Packet {
+	p := AllocPacket()
+	p.Flags, p.Seq, p.Ack, p.Window = flags, seq, ack, rcvWindow
+	if len(payload) > 0 {
+		p.SetPayload(payload)
+	}
+	return p
+}
+
+// sendSeg fills in addressing and transmits one segment, donating the
+// packet to the stack.
 func (c *Conn) sendSeg(p *Packet) {
 	p.Src = c.tcp.stack.IP
 	p.Dst = c.remote
@@ -399,96 +592,237 @@ func (c *Conn) cancelRetx() {
 	}
 }
 
-func (c *Conn) onRetxTimeout() {
-	c.retxEv = nil
-	if len(c.inflight) == 0 && c.state != StateSynSent && c.state != StateSynRcvd {
-		return
-	}
-	// Multiplicative decrease; back to slow start.
+// lossBackoff is the response to a retransmission timeout: multiplicative
+// decrease, back to slow start.
+func (c *Conn) lossBackoff() {
 	c.ssthresh = c.cwnd / 2
 	if c.ssthresh < 1 {
 		c.ssthresh = 1
 	}
 	c.cwnd = 1
 	c.retransmits++
-	switch c.state {
-	case StateSynSent:
-		c.sendSeg(&Packet{Flags: FlagSYN, Seq: c.sndUna, Window: rcvWindow})
-	case StateSynRcvd:
-		c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt, Window: rcvWindow})
-	default:
-		if len(c.inflight) > 0 {
-			s := c.inflight[0]
-			flags := FlagACK
-			if s.fin {
-				flags |= FlagFIN
-			}
-			c.sendSeg(&Packet{Flags: flags, Seq: s.seq, Ack: c.rcvNxt, Window: rcvWindow, Payload: s.data})
-		}
-	}
-	c.armRetx()
 }
+
+func (c *Conn) onRetxTimeout() {
+	c.retxEv = nil
+	switch {
+	case c.state == StateSynSent:
+		c.lossBackoff()
+		c.sendSeg(c.seg(FlagSYN, c.sndUna, 0, nil))
+		c.armRetx()
+	case len(c.inflight) > 0:
+		c.lossBackoff()
+		s := c.inflight[0]
+		flags := FlagACK
+		if s.fin {
+			flags |= FlagFIN
+		}
+		c.sendSeg(c.seg(flags, s.seq, c.rcvNxt, s.data))
+		c.armRetx()
+	case c.sndWnd == 0 && len(c.sendBuf) > 0 && c.state != StateClosed:
+		// Zero-window persist (RFC 1122 §4.2.2.17): the peer advertised
+		// window 0 and will send nothing further on its own; probe with a
+		// single byte to elicit an ACK carrying the reopened window.
+		c.zeroWndProbes++
+		data := append([]byte(nil), c.sendBuf[:1]...)
+		c.sendBuf = c.sendBuf[1:]
+		c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, data))
+		c.inflight = append(c.inflight, segment{seq: c.sndNxt, data: data})
+		c.sndNxt++
+		c.armRetx()
+	}
+}
+
+// rxCtx carries the per-batch receive context (see stack.go); deliver
+// threads it down so the tracer and injector snapshot loads amortize across
+// a drained batch.
+
+// Deliver hands one TCP segment directly to the module, as if it had
+// arrived addressed to this stack with lower layers already charged — the
+// direct-drive entry point for tests and benchmarks (the C10M scaling
+// experiment pushes a million handshakes through it without a wire). The
+// packet is borrowed: Deliver does not release it.
+func (t *TCP) Deliver(pkt *Packet) { t.deliver(t.stack.rxctx(), pkt) }
 
 // deliver routes one inbound TCP segment, feeding the per-segment latency
 // series when tracing is enabled.
-func (t *TCP) deliver(pkt *Packet) {
-	f := t.stack.disp.InjectorInstalled().Fire("net.tcp.deliver")
+func (t *TCP) deliver(ctx rxCtx, pkt *Packet) {
+	f := ctx.inj.Fire("net.tcp.deliver")
 	if f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
 		return // injected segment loss; retransmission recovers
 	}
-	if tr := t.stack.disp.Tracer(); tr != nil {
+	if ctx.tr != nil {
 		start := t.stack.clock.Now()
 		defer func() {
-			tr.Observe("net.tcp.deliver", t.stack.clock.Now().Sub(start))
+			ctx.tr.Observe("net.tcp.deliver", t.stack.clock.Now().Sub(start))
 		}()
 	}
 	t.deliver1(pkt)
 }
 
 func (t *TCP) deliver1(pkt *Packet) {
-	key := connKey{pkt.Src, pkt.SrcPort, pkt.DstPort}
-	if c, ok := (*t.conns.Load())[key]; ok {
+	key := tcpKey(pkt.Src, pkt.SrcPort, pkt.DstPort)
+	if c := t.lookup(key); c != nil {
 		c.handle(pkt)
 		return
 	}
-	// New connection? Must be a SYN to a listener.
-	l, ok := (*t.listeners.Load())[pkt.DstPort]
-	if !ok || pkt.Flags&FlagSYN == 0 || pkt.Flags&FlagACK != 0 {
-		if pkt.Flags&FlagRST == 0 {
-			t.reset(pkt)
+	switch {
+	case pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0:
+		// A SYN to a listening port records a compact half-open entry —
+		// no *Conn until the final ACK proves the peer is real.
+		if l := (*t.listeners.Load())[pkt.DstPort]; l != nil {
+			t.onSyn(key, pkt)
+			return
 		}
+	case pkt.Flags&FlagACK != 0:
+		if e, ok := t.takeSyn(key); ok {
+			if pkt.Ack == e.iss+1 {
+				t.completeHandshake(key, e, pkt)
+				return
+			}
+			// Wrong ACK for the half-open entry: the entry is consumed
+			// (the peer is confused or hostile) and the segment falls
+			// through to a reset.
+		} else if c := t.lookup(key); c != nil {
+			// Lost a materialization race: a concurrent delivery of the
+			// same final ACK established the connection between our two
+			// lookups.
+			c.handle(pkt)
+			return
+		}
+	}
+	if pkt.Flags&FlagRST == 0 {
+		t.reset(pkt)
+	}
+}
+
+// onSyn records (or refreshes) the half-open entry for a SYN and answers
+// with a SYN-ACK. A duplicate SYN — ours was lost, or the client
+// retransmitted — resends the SYN-ACK with the original ISS.
+func (t *TCP) onSyn(key connKey, pkt *Packet) {
+	sh := t.synShardFor(key)
+	sh.mu.Lock()
+	e, dup := sh.m[key]
+	if !dup {
+		if len(sh.m) >= maxHalfOpenPerShard {
+			t.evictSynLocked(sh)
+		}
+		e = synEntry{rcvNxt: pkt.Seq + 1, iss: serverISS, wnd: pkt.Window, at: t.stack.clock.Now()}
+		sh.m[key] = e
+	}
+	sh.mu.Unlock()
+
+	synack := AllocPacket()
+	synack.Src, synack.Dst, synack.Proto = t.stack.IP, pkt.Src, ProtoTCP
+	synack.SrcPort, synack.DstPort = pkt.DstPort, pkt.SrcPort
+	synack.Flags, synack.Seq, synack.Ack, synack.Window = FlagSYN|FlagACK, e.iss, e.rcvNxt, rcvWindow
+	synack.TTL = 32
+	_ = t.stack.SendIP(synack)
+}
+
+// takeSyn removes and returns the half-open entry for key, if present.
+func (t *TCP) takeSyn(key connKey) (synEntry, bool) {
+	sh := t.synShardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[key]
+	if ok {
+		delete(sh.m, key)
+	}
+	return e, ok
+}
+
+// evictSynLocked makes room in a full half-open shard: entries past synTTL
+// go first, then the oldest. Callers hold sh.mu.
+func (t *TCP) evictSynLocked(sh *synShard) {
+	now := t.stack.clock.Now()
+	for k, e := range sh.m {
+		if now.Sub(e.at) > synTTL {
+			delete(sh.m, k)
+			t.halfOpenEvicted.Add(1)
+		}
+	}
+	if len(sh.m) < maxHalfOpenPerShard {
+		return
+	}
+	var oldestKey connKey
+	var oldestAt sim.Time
+	first := true
+	for k, e := range sh.m {
+		if first || e.at < oldestAt {
+			oldestKey, oldestAt, first = k, e.at, false
+		}
+	}
+	if !first {
+		delete(sh.m, oldestKey)
+		t.halfOpenEvicted.Add(1)
+	}
+}
+
+// completeHandshake materializes the connection for a half-open entry whose
+// final ACK arrived — the first point a server-side *Conn exists. The
+// accept callback is published on the Conn before it enters the connection
+// table, so no concurrent delivery can reach a connection without it.
+func (t *TCP) completeHandshake(key connKey, e synEntry, pkt *Packet) {
+	l := (*t.listeners.Load())[pkt.DstPort]
+	if l == nil {
+		// Listener withdrawn between SYN and ACK.
+		t.reset(pkt)
 		return
 	}
 	c := &Conn{
-		tcp: t, state: StateSynRcvd,
+		tcp: t, state: StateEstablished,
 		remote: pkt.Src, localPort: pkt.DstPort, remotePort: pkt.SrcPort,
 		mss: DefaultMSS, cwnd: 1, ssthresh: 16,
-		sndWnd:   pkt.Window,
+		sndWnd:   e.wnd,
 		delivery: l.cost,
-		sndUna:   1000, sndNxt: 1000,
-		rcvNxt: pkt.Seq + 1,
+		sndUna:   e.iss + 1, sndNxt: e.iss + 1,
+		rcvNxt:   e.rcvNxt,
+		acceptCb: l.accept,
 	}
-	t.mu.Lock()
-	if _, raced := (*t.conns.Load())[key]; raced {
-		// A concurrent delivery of the same SYN already set the
-		// connection up; its SYN-ACK is on the way.
-		t.mu.Unlock()
+	if !t.insertConn(key, c) {
+		// A concurrent delivery of the same final ACK materialized the
+		// connection first; hand the segment to the winner.
+		if w := t.lookup(key); w != nil {
+			w.handle(pkt)
+		}
 		return
 	}
-	t.storeConn(key, c)
-	t.mu.Unlock()
-	c.acceptCb = l.accept
-	c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
-	c.sndNxt++
-	c.armRetx()
+	t.accepted.Add(1)
+	if c.acceptCb != nil {
+		c.acceptCb(c)
+	}
+	if c.OnConnect != nil {
+		c.OnConnect(c)
+	}
+	// The ACK may carry data or FIN; run it through the normal machine.
+	c.handle(pkt)
 }
 
-// reset sends RST for an unexpected segment.
+// reset sends RST for an unexpected segment, in the two RFC 793 forms: a
+// segment carrying an ACK is refuted with Seq = its ACK number; a segment
+// without one (a bare SYN to a closed port) gets Seq 0 plus an ACK of
+// everything it occupied, so the peer can match the RST to its send.
 func (t *TCP) reset(pkt *Packet) {
-	rst := &Packet{
-		Src: t.stack.IP, Dst: pkt.Src, Proto: ProtoTCP,
-		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
-		Flags: FlagRST, Seq: pkt.Ack, TTL: 32,
+	t.resets.Add(1)
+	rst := AllocPacket()
+	rst.Src, rst.Dst, rst.Proto = t.stack.IP, pkt.Src, ProtoTCP
+	rst.SrcPort, rst.DstPort = pkt.DstPort, pkt.SrcPort
+	rst.TTL = 32
+	if pkt.Flags&FlagACK != 0 {
+		rst.Flags = FlagRST
+		rst.Seq = pkt.Ack
+	} else {
+		seglen := uint32(len(pkt.Payload))
+		if pkt.Flags&FlagSYN != 0 {
+			seglen++
+		}
+		if pkt.Flags&FlagFIN != 0 {
+			seglen++
+		}
+		rst.Flags = FlagRST | FlagACK
+		rst.Seq = 0
+		rst.Ack = pkt.Seq + seglen
 	}
 	_ = t.stack.SendIP(rst)
 }
@@ -500,42 +834,23 @@ func (c *Conn) handle(pkt *Packet) {
 		c.teardown()
 		return
 	}
-	if pkt.Window > 0 {
-		c.sndWnd = pkt.Window
-	}
-	switch c.state {
-	case StateSynSent:
+	// The advertised window is taken at face value — including zero. A
+	// zero window pauses pump(), and the persist probe in onRetxTimeout
+	// keeps testing for it to reopen.
+	c.sndWnd = pkt.Window
+	if c.state == StateSynSent {
 		if pkt.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && pkt.Ack == c.sndNxt {
 			c.sndUna = pkt.Ack
 			c.rcvNxt = pkt.Seq + 1
 			c.state = StateEstablished
 			c.cancelRetx()
-			c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+			c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, nil))
 			if c.OnConnect != nil {
 				c.OnConnect(c)
 			}
 			c.pump()
 		}
 		return
-	case StateSynRcvd:
-		if pkt.Flags&FlagACK != 0 && pkt.Ack == c.sndNxt {
-			c.sndUna = pkt.Ack
-			c.state = StateEstablished
-			c.cancelRetx()
-			if c.acceptCb != nil {
-				c.acceptCb(c)
-			}
-			if c.OnConnect != nil {
-				c.OnConnect(c)
-			}
-			// Fall through: the ACK may carry data.
-		} else {
-			if pkt.Flags&FlagSYN != 0 {
-				// Duplicate SYN: our SYN-ACK was lost; resend it.
-				c.sendSeg(&Packet{Flags: FlagSYN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt, Window: rcvWindow})
-			}
-			return
-		}
 	}
 
 	if pkt.Flags&FlagACK != 0 {
@@ -596,20 +911,20 @@ func (c *Conn) onAck(ack uint32) {
 func (c *Conn) onData(pkt *Packet) {
 	if pkt.Seq != c.rcvNxt {
 		// Out of order: re-ACK what we have; sender retransmits.
-		c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+		c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, nil))
 		return
 	}
 	c.rcvNxt += uint32(len(pkt.Payload))
 	if c.OnData != nil {
 		c.OnData(c, pkt.Payload)
 	}
-	c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+	c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, nil))
 }
 
 func (c *Conn) onFIN(pkt *Packet) {
 	c.rcvNxt = pkt.Seq + uint32(len(pkt.Payload)) + 1
 	c.peerClosed = true
-	c.sendSeg(&Packet{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Window: rcvWindow})
+	c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, nil))
 	switch c.state {
 	case StateEstablished:
 		c.state = StateCloseWait
@@ -632,7 +947,7 @@ func (c *Conn) startTimeWait() {
 	})
 }
 
-// teardown removes the connection.
+// teardown removes the connection from its shard.
 func (c *Conn) teardown() {
 	if c.state == StateClosed {
 		return
@@ -640,13 +955,44 @@ func (c *Conn) teardown() {
 	c.cancelRetx()
 	prev := c.state
 	c.state = StateClosed
-	c.tcp.mu.Lock()
-	c.tcp.storeConn(connKey{c.remote, c.remotePort, c.localPort}, nil)
-	c.tcp.mu.Unlock()
+	c.tcp.removeConn(tcpKey(c.remote, c.remotePort, c.localPort))
 	if c.OnClose != nil && prev != StateCloseWait {
 		c.OnClose(c)
 	}
 }
 
-// Conns reports the number of live connections (tests).
-func (t *TCP) Conns() int { return len(*t.conns.Load()) }
+// Conns reports the number of live connections: the sum of the per-shard
+// counters, exact under concurrent setup/teardown.
+func (t *TCP) Conns() int {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].n.Load()
+	}
+	return int(n)
+}
+
+// TCPStats is a point-in-time summary of the TCP module.
+type TCPStats struct {
+	Conns           int   // connections in the shard table
+	HalfOpen        int   // half-open entries awaiting their final ACK
+	HalfOpenEvicted int64 // half-open entries dropped by the bounded table
+	Accepted        int64 // server-side connections materialized by a final ACK
+	Resets          int64 // RSTs sent for unexpected segments
+}
+
+// Stats snapshots the module counters.
+func (t *TCP) Stats() TCPStats {
+	st := TCPStats{
+		Conns:           t.Conns(),
+		HalfOpenEvicted: t.halfOpenEvicted.Load(),
+		Accepted:        t.accepted.Load(),
+		Resets:          t.resets.Load(),
+	}
+	for i := range t.syn {
+		sh := &t.syn[i]
+		sh.mu.Lock()
+		st.HalfOpen += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -141,13 +141,15 @@ func (u *UDP) EphemeralPort() (uint16, error) {
 	return 0, ErrPortsExhausted
 }
 
-// Send transmits a datagram.
+// Send transmits a datagram. The payload is copied into a pooled packet,
+// so the caller keeps ownership of its slice (and handlers may re-send the
+// payload of a packet being delivered to them, as Echo does).
 func (u *UDP) Send(srcPort uint16, dst IPAddr, dstPort uint16, payload []byte) error {
-	pkt := &Packet{
-		Src: u.stack.IP, Dst: dst, Proto: ProtoUDP,
-		SrcPort: srcPort, DstPort: dstPort,
-		Payload: payload, TTL: 32,
-	}
+	pkt := AllocPacket()
+	pkt.Src, pkt.Dst, pkt.Proto = u.stack.IP, dst, ProtoUDP
+	pkt.SrcPort, pkt.DstPort = srcPort, dstPort
+	pkt.SetPayload(payload)
+	pkt.TTL = 32
 	return u.stack.SendIP(pkt)
 }
 

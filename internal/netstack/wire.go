@@ -66,9 +66,19 @@ func clampU16(v int) uint16 {
 // the wire (TTL, Window, FragOffset) saturate; the parse side of a
 // round-trip is therefore canonical.
 func EncodePacket(pkt *Packet) []byte {
+	return AppendPacket(nil, pkt)
+}
+
+// AppendPacket appends pkt's wire form to dst and returns the extended
+// buffer — the allocation-free encoder for hot paths that reuse a scratch
+// buffer (the append is recognized by the compiler as grow-and-clear, so a
+// dst with enough capacity costs nothing).
+func AppendPacket(dst []byte, pkt *Packet) []byte {
 	thdr := transportHeaderLen(pkt.Proto)
 	total := IPHeader + thdr + len(pkt.Payload)
-	b := make([]byte, EtherHeader+total)
+	off := len(dst)
+	dst = append(dst, make([]byte, EtherHeader+total)...)
+	b := dst[off:]
 
 	// Ethernet: MACs are not modelled (zero), ethertype IPv4.
 	binary.BigEndian.PutUint16(b[12:14], etherTypeIPv4)
@@ -109,7 +119,7 @@ func EncodePacket(pkt *Packet) []byte {
 		binary.BigEndian.PutUint16(t[4:6], pkt.ICMPSeq)
 	}
 	copy(b[EtherHeader+IPHeader+thdr:], pkt.Payload)
-	return b
+	return dst
 }
 
 // ParsePacket decodes one wire frame into a Packet, validating every field:
@@ -118,41 +128,62 @@ func EncodePacket(pkt *Packet) []byte {
 // input and the returned packet's payload aliases b (callers that keep the
 // packet past the frame's lifetime must Clone).
 func ParsePacket(b []byte) (*Packet, error) {
+	pkt := &Packet{}
+	if err := parsePacketInto(pkt, b, false); err != nil {
+		return nil, err
+	}
+	return pkt, nil
+}
+
+// ParsePacketPooled decodes one wire frame into a pooled packet whose
+// payload is copied into the packet's own buffer — the decoder for hot
+// paths, where the frame buffer is reused and the packet flows into the RX
+// queues. The caller owns the returned packet's single reference.
+func ParsePacketPooled(b []byte) (*Packet, error) {
+	pkt := AllocPacket()
+	if err := parsePacketInto(pkt, b, true); err != nil {
+		pkt.Release()
+		return nil, err
+	}
+	return pkt, nil
+}
+
+// parsePacketInto decodes b into pkt; copyPayload selects whether the
+// payload is copied into pkt's own buffer or aliases b.
+func parsePacketInto(pkt *Packet, b []byte, copyPayload bool) error {
 	if len(b) < EtherHeader+IPHeader {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(b))
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(b))
 	}
 	if et := binary.BigEndian.Uint16(b[12:14]); et != etherTypeIPv4 {
-		return nil, fmt.Errorf("%w: ethertype %#04x", ErrBadEtherType, et)
+		return fmt.Errorf("%w: ethertype %#04x", ErrBadEtherType, et)
 	}
 	ip := b[EtherHeader:]
 	if ip[0] != 4 {
-		return nil, fmt.Errorf("%w: %d", ErrBadIPVersion, ip[0])
+		return fmt.Errorf("%w: %d", ErrBadIPVersion, ip[0])
 	}
 	proto := ip[11]
 	thdr := transportHeaderLen(proto)
 	total := int(binary.BigEndian.Uint16(ip[1:3]))
 	if total < IPHeader+thdr {
-		return nil, fmt.Errorf("%w: total %d < headers %d", ErrBadLength, total, IPHeader+thdr)
+		return fmt.Errorf("%w: total %d < headers %d", ErrBadLength, total, IPHeader+thdr)
 	}
 	if total > len(ip) {
-		return nil, fmt.Errorf("%w: total %d > frame %d", ErrBadLength, total, len(ip))
+		return fmt.Errorf("%w: total %d > frame %d", ErrBadLength, total, len(ip))
 	}
-	pkt := &Packet{
-		Proto:      proto,
-		FragID:     binary.BigEndian.Uint32(ip[3:7]),
-		FragOffset: int(binary.BigEndian.Uint16(ip[7:9])),
-		MoreFrags:  ip[9]&ipMoreFrags != 0,
-		TTL:        int(ip[10]),
-		Src:        IPAddr(binary.BigEndian.Uint32(ip[12:16])),
-		Dst:        IPAddr(binary.BigEndian.Uint32(ip[16:20])),
-	}
+	pkt.Proto = proto
+	pkt.FragID = binary.BigEndian.Uint32(ip[3:7])
+	pkt.FragOffset = int(binary.BigEndian.Uint16(ip[7:9]))
+	pkt.MoreFrags = ip[9]&ipMoreFrags != 0
+	pkt.TTL = int(ip[10])
+	pkt.Src = IPAddr(binary.BigEndian.Uint32(ip[12:16]))
+	pkt.Dst = IPAddr(binary.BigEndian.Uint32(ip[16:20]))
 	t := ip[IPHeader:]
 	switch proto {
 	case ProtoUDP:
 		pkt.SrcPort = binary.BigEndian.Uint16(t[0:2])
 		pkt.DstPort = binary.BigEndian.Uint16(t[2:4])
 		if udpLen := int(binary.BigEndian.Uint16(t[4:6])); udpLen != total-IPHeader {
-			return nil, fmt.Errorf("%w: udp length %d, ip carries %d", ErrBadLength, udpLen, total-IPHeader)
+			return fmt.Errorf("%w: udp length %d, ip carries %d", ErrBadLength, udpLen, total-IPHeader)
 		}
 	case ProtoTCP:
 		pkt.SrcPort = binary.BigEndian.Uint16(t[0:2])
@@ -160,7 +191,7 @@ func ParsePacket(b []byte) (*Packet, error) {
 		pkt.Seq = binary.BigEndian.Uint32(t[4:8])
 		pkt.Ack = binary.BigEndian.Uint32(t[8:12])
 		if off := int(t[12] >> 4); off != 5 {
-			return nil, fmt.Errorf("%w: tcp data offset %d words (options unsupported)", ErrBadLength, off)
+			return fmt.Errorf("%w: tcp data offset %d words (options unsupported)", ErrBadLength, off)
 		}
 		pkt.Flags = TCPFlags(t[13])
 		pkt.Window = int(binary.BigEndian.Uint16(t[14:16]))
@@ -168,6 +199,10 @@ func ParsePacket(b []byte) (*Packet, error) {
 		pkt.ICMPType = t[0]
 		pkt.ICMPSeq = binary.BigEndian.Uint16(t[4:6])
 	}
-	pkt.Payload = t[thdr : total-IPHeader]
-	return pkt, nil
+	if copyPayload {
+		pkt.SetPayload(t[thdr : total-IPHeader])
+	} else {
+		pkt.Payload = t[thdr : total-IPHeader]
+	}
+	return nil
 }

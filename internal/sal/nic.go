@@ -235,8 +235,14 @@ func (n *NIC) Send(f NetFrame) error {
 	n.bytesSent += int64(f.Size)
 	if n.lossRate > 0 && n.lossRng != nil && n.lossRng.Float64() < n.lossRate {
 		// The frame occupies the wire but never arrives (CRC error,
-		// collision): the transmitter cannot tell.
+		// collision): the transmitter cannot tell. A refcounted payload
+		// (netstack's pooled packets) is recycled here — the end of the
+		// frame's life. The interface assertion keeps sal independent of
+		// the protocol stack's packet type.
 		n.dropped++
+		if r, ok := f.Payload.(interface{ Release() }); ok {
+			r.Release()
+		}
 		return nil
 	}
 	peer := n.peer

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Bench-regression smoke: run the dispatcher fast-path benchmark, the
-# Table 3 thread-management benchmark, and the parallel-strand scaling
-# benchmark; emit the results as BENCH_sched.json; fail the build if
+# Table 3 thread-management benchmark, the parallel-strand scaling
+# benchmark, and the C10M connection-table probes; emit the results as
+# BENCH_sched.json; fail the build if
 #   - the dispatch raise fast path regressed more than 10% against the
 #     committed BENCH_baseline.json, or
-#   - 4 virtual CPUs no longer deliver >= 2x the 1-CPU strand throughput.
+#   - 4 virtual CPUs no longer deliver >= 2x the 1-CPU strand throughput, or
+#   - TCP connection setup (sharded-table insert + syncookie completion)
+#     regressed more than 10% against the baseline, or
+#   - the steady-state TCP RX path allocates at all (any allocs/op above
+#     the committed rx_allocs_per_packet baseline fails — no 10% slack:
+#     one alloc per packet is the whole regression).
 #
-# The dispatch number is the min over BENCH_COUNT runs: the fast path is a
-# ~50ns atomic-load loop, so min-of-N is the noise-robust statistic.
+# The dispatch and conn-setup numbers are the min over BENCH_COUNT runs:
+# both are short loops dominated by scheduler noise, so min-of-N is the
+# noise-robust statistic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,7 +47,17 @@ mk1=$(metric "$par_out" BenchmarkParallelStrands1 "makespan-µs")
 mk4=$(metric "$par_out" BenchmarkParallelStrands4 "makespan-µs")
 steals4=$(metric "$par_out" BenchmarkParallelStrands4 "steals")
 
-for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4"; do
+echo "== TCP connection setup (min of $runs runs) =="
+setup_out=$(go test -run '^$' -bench 'TCPConnSetup$' -benchtime=1x -count="$runs" .)
+echo "$setup_out"
+conn_setup_ns=$(metric "$setup_out" BenchmarkTCPConnSetup "conn-setup-ns" | sort -g | head -1)
+
+echo "== TCP steady-state RX allocations =="
+rx_out=$(go test -run '^$' -bench 'TCPSteadyRX$' -benchtime=200000x -benchmem .)
+echo "$rx_out"
+rx_allocs=$(metric "$rx_out" BenchmarkTCPSteadyRX "allocs/op")
+
+for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs"; do
   if [ -z "$v" ]; then
     echo "FAIL: could not parse a benchmark metric" >&2
     exit 1
@@ -54,7 +71,9 @@ cat > "$out" <<JSON
   "table3_spin_kern_pingpong_us": $pingpong,
   "parallel_makespan_1cpu_us": $mk1,
   "parallel_makespan_4cpu_us": $mk4,
-  "parallel_steals_4cpu": $steals4
+  "parallel_steals_4cpu": $steals4,
+  "conn_setup_ns": $conn_setup_ns,
+  "rx_allocs_per_packet": $rx_allocs
 }
 JSON
 echo "wrote $out:"
@@ -75,5 +94,21 @@ awk -v one="$mk1" -v four="$mk4" 'BEGIN {
     printf "FAIL: 4-CPU parallel-strand speedup %.2fx, want >= 2x\n", one / four; exit 1
   }
   printf "parallel strands: 4-CPU speedup %.2fx in virtual time\n", one / four
+}'
+
+base_setup=$(awk -F'[:,]' '/"conn_setup_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+base_rx_allocs=$(awk -F'[:,]' '/"rx_allocs_per_packet"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_setup" ] || [ -z "$base_rx_allocs" ]; then
+  echo "FAIL: no conn_setup_ns / rx_allocs_per_packet in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$conn_setup_ns" -v base="$base_setup" 'BEGIN {
+  limit = base * 1.10
+  printf "tcp conn setup: %s ns/conn (baseline %s, limit %.2f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: TCP connection setup regressed >10% vs committed baseline"; exit 1 }
+}'
+awk -v cur="$rx_allocs" -v base="$base_rx_allocs" 'BEGIN {
+  printf "tcp steady RX: %s allocs/packet (baseline %s; any growth fails)\n", cur, base
+  if (cur + 0 > base + 0) { print "FAIL: steady-state TCP RX path started allocating per packet"; exit 1 }
 }'
 echo "bench smoke OK"
