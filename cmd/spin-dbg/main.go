@@ -1,8 +1,8 @@
 // Command spin-dbg demonstrates the network debugger: it boots a target
-// SPIN kernel with live workload (an HTTP server taking requests), attaches
-// the in-kernel debugger extension, and queries it from a second machine
-// over the simulated network — remote kernel inspection without stopping
-// the kernel, after [Redell 88].
+// SPIN kernel with live workload (an HTTP server taking requests) on a
+// small routed topology, attaches the in-kernel debugger extension, and
+// queries it from a second machine across a switch — remote kernel
+// inspection without stopping the kernel, after [Redell 88].
 package main
 
 import (
@@ -16,9 +16,9 @@ import (
 	"spin/internal/monitor"
 	"spin/internal/netdbg"
 	"spin/internal/netstack"
-	"spin/internal/sal"
 	"spin/internal/sim"
 	"spin/internal/strand"
+	"spin/internal/vnet"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
 			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "sched",
-			"tlb", "mem", "frame 300", "uptime"}
+			"tlb", "mem", "frame 300", "topo", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)
@@ -42,20 +42,22 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func run(cmds []string) error {
-	// Two virtual CPUs on the target, so the sched command has per-CPU
-	// queues, steals and migrations to report.
-	target, err := spin.NewMachine("target-kernel", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2})
+	// The debugger and its target sit on a routed topology: workstation and
+	// target kernel on a switch, 100 µs spokes. Two virtual CPUs on the
+	// target, so the sched command has per-CPU queues, steals and
+	// migrations to report.
+	edge := vnet.LinkModel{Latency: 100 * sim.Microsecond}
+	in, err := vnet.NewBuilder(1).
+		MachineCfg("target-kernel", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2}).
+		Machine("workstation", netstack.Addr(10, 0, 0, 1)).
+		Switch("s0").
+		Link("target-kernel", "s0", edge).
+		Link("workstation", "s0", edge).
+		Build()
 	if err != nil {
 		return err
 	}
-	workstation, err := spin.NewMachine("workstation", spin.Config{IP: netstack.Addr(10, 0, 0, 1)})
-	if err != nil {
-		return err
-	}
-	if err := sal.Connect(target.AddNIC(sal.LanceModel), workstation.AddNIC(sal.LanceModel)); err != nil {
-		return err
-	}
-	cluster := sim.NewCluster(target.Engine, workstation.Engine)
+	target, workstation := in.Machine("target-kernel"), in.Machine("workstation")
 
 	// Give the target a live workload so the statistics mean something.
 	if _, err := netstack.NewHTTPServer(target.Stack, 80, netstack.InKernelDelivery,
@@ -76,6 +78,7 @@ func run(cmds []string) error {
 		Dispatcher: target.Dispatcher,
 		Phys:       target.Phys,
 		MMU:        target.MMU,
+		Topo:       in.Describe,
 		Extra: map[string]func(string) string{
 			"uptime": func(string) string {
 				return fmt.Sprintf("uptime: %v of virtual time", target.Clock.Now().Sub(0))
@@ -107,7 +110,7 @@ func run(cmds []string) error {
 		done := false
 		_ = netstack.HTTPGet(workstation.Stack, target.Stack.IP, 80, "/",
 			netstack.InKernelDelivery, func(string, []byte) { done = true })
-		if !cluster.RunUntil(func() bool { return done }, 0) {
+		if !in.RunUntil(func() bool { return done }, 0) {
 			return fmt.Errorf("warmup request hung")
 		}
 	}
@@ -120,7 +123,7 @@ func run(cmds []string) error {
 			func(s string) { reply = s; got = true }); err != nil {
 			return err
 		}
-		if !cluster.RunUntil(func() bool { return got }, 0) {
+		if !in.RunUntil(func() bool { return got }, 0) {
 			return fmt.Errorf("query %q never answered", cmd)
 		}
 		fmt.Printf("(spin-dbg) %s\n", cmd)

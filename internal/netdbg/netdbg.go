@@ -27,6 +27,10 @@ type Target struct {
 	// Net, when set, enables the transport inspection commands (the
 	// debugger's own stack is used when nil).
 	Net *netstack.Stack
+	// Topo, when set, enables the "topo" command: it reports the network
+	// topology this kernel is part of (nodes, links, state) — e.g. a vnet
+	// Internet's Describe.
+	Topo func() string
 	// Extra registers additional commands: name -> handler(arg) -> reply.
 	Extra map[string]func(arg string) string
 }
@@ -78,6 +82,8 @@ func (d *Debugger) execute(line string) string {
 		return d.mem()
 	case "net":
 		return d.net()
+	case "topo":
+		return d.topo()
 	default:
 		if d.target.Extra != nil {
 			if h, ok := d.target.Extra[cmd]; ok {
@@ -89,7 +95,7 @@ func (d *Debugger) execute(line string) string {
 }
 
 func (d *Debugger) help() string {
-	cmds := []string{"events", "faults", "frame <n>", "handlers <event>", "help", "mem", "net", "stats <event>", "tlb"}
+	cmds := []string{"events", "faults", "frame <n>", "handlers <event>", "help", "mem", "net", "stats <event>", "tlb", "topo"}
 	for c := range d.target.Extra {
 		cmds = append(cmds, c)
 	}
@@ -206,6 +212,14 @@ func (d *Debugger) net() string {
 	ts := st.TCP().Stats()
 	return fmt.Sprintf("net %s (%v): rx=%d tx=%d tcp-conns=%d half-open=%d evicted=%d resets=%d",
 		st.Host, st.IP, rx, tx, ts.Conns, ts.HalfOpen, ts.HalfOpenEvicted, ts.Resets)
+}
+
+// topo reports the surrounding network topology.
+func (d *Debugger) topo() string {
+	if d.target.Topo == nil {
+		return "error: no topology attached"
+	}
+	return d.target.Topo()
 }
 
 // Query sends one debugger command from a client stack and invokes done

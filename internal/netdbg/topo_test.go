@@ -1,0 +1,60 @@
+package netdbg
+
+import (
+	"strings"
+	"testing"
+
+	"spin/internal/sim"
+	"spin/internal/vnet"
+)
+
+// TestTopoOverVirtualInternet attaches the debugger to one machine of a
+// routed topology and asks it, over that same topology, what the topology
+// looks like — the "topo" command backed by vnet's Describe.
+func TestTopoOverVirtualInternet(t *testing.T) {
+	edge := vnet.LinkModel{Latency: 50 * sim.Microsecond}
+	in, err := vnet.NewBuilder(31).
+		Machine("target", 0).Machine("workstation", 0).Switch("s0").
+		Link("target", "s0", edge).Link("workstation", "s0", edge).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := in.Machine("target")
+	if _, err := New(target.Stack, DefaultPort, Target{
+		Dispatcher: target.Dispatcher,
+		Topo:       in.Describe,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	query := func(cmd string) string {
+		var reply string
+		done := false
+		if err := Query(in.Machine("workstation").Stack, in.IP("target"), DefaultPort, cmd,
+			func(s string) { reply = s; done = true }); err != nil {
+			t.Fatal(err)
+		}
+		if !in.RunUntil(func() bool { return done }, sim.Time(10*sim.Second)) {
+			t.Fatalf("query %q never answered", cmd)
+		}
+		return reply
+	}
+	topo := query("topo")
+	for _, want := range []string{"target", "workstation", "switch  s0", "target~s0"} {
+		if !strings.Contains(topo, want) {
+			t.Errorf("topo reply missing %q:\n%s", want, topo)
+		}
+	}
+	if !strings.Contains(query("help"), "topo") {
+		t.Error("help does not list topo")
+	}
+}
+
+// TestTopoUnattached: without a Topo source the command degrades to an
+// error reply, like every other nil-field command.
+func TestTopoUnattached(t *testing.T) {
+	r := newRig(t)
+	if got := r.query(t, "topo"); !strings.Contains(got, "error: no topology attached") {
+		t.Errorf("topo without source: %q", got)
+	}
+}

@@ -137,6 +137,13 @@ type Stack struct {
 
 	received atomic.Int64
 	sent     atomic.Int64
+	// forwarding, when set, makes the stack an IP router: transit packets
+	// (destination not this host, unclaimed by any extension) are re-sent
+	// along the route table with TTL decremented instead of dropped —
+	// multi-hop delivery through a SPIN machine acting as a router node.
+	forwarding atomic.Bool
+	forwarded  atomic.Int64
+	ttlExpired atomic.Int64
 	// rxPanics counts handler panics contained in the receive path: a
 	// faulty protocol handler costs its packet, never the RX worker or the
 	// kernel (paper §4.3 applied to the data path).
@@ -557,8 +564,12 @@ func (s *Stack) receive1(ctx rxCtx, linkEvent string, pkt *Packet) {
 		return
 	}
 	if pkt.Dst != s.IP {
-		// Not ours and nobody claimed it: drop (no transparent
-		// routing unless a forwarder extension claims it).
+		// Not ours and nobody claimed it: route it onward if this stack
+		// is a router, else drop (no transparent routing unless a
+		// forwarder extension claims it).
+		if s.forwarding.Load() {
+			s.forward(pkt)
+		}
 		return
 	}
 	// Reassemble fragmented datagrams before transport processing.
@@ -600,6 +611,36 @@ func (s *Stack) receive1(ctx rxCtx, linkEvent string, pkt *Packet) {
 			s.tcp.deliver(ctx, pkt)
 		}
 	}
+}
+
+// EnableForwarding turns the stack into an IP router: inbound packets for
+// other hosts are re-sent along the route table (specific routes first,
+// then the default NIC) with TTL decremented, so a SPIN machine with
+// several NICs can sit inside a multi-hop topology as a router node. Off by
+// default — an end host silently drops transit traffic.
+func (s *Stack) EnableForwarding(on bool) { s.forwarding.Store(on) }
+
+// Forwarded reports transit packets this stack routed onward.
+func (s *Stack) Forwarded() int64 { return s.forwarded.Load() }
+
+// TTLExpired reports transit packets dropped because their TTL reached
+// zero — the loop guard firing.
+func (s *Stack) TTLExpired() int64 { return s.ttlExpired.Load() }
+
+// forward re-sends one transit packet along the route table. The RX path
+// only borrows the packet (the batch drain releases it after delivery), so
+// the TX path gets its own reference.
+func (s *Stack) forward(pkt *Packet) {
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		s.ttlExpired.Add(1)
+		if tr := s.disp.Tracer(); tr != nil {
+			tr.Trace(trace.Record{Event: "net.ip.ttl-expired", Origin: "net", Start: s.clock.Now()})
+		}
+		return
+	}
+	s.forwarded.Add(1)
+	_ = s.SendIP(pkt.Retain())
 }
 
 // ErrNoRoute reports a destination with no attached NIC.

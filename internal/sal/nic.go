@@ -2,6 +2,7 @@ package sal
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"spin/internal/sim"
 )
@@ -135,9 +136,28 @@ type NetFrame struct {
 	Payload any
 }
 
-// NIC is one network interface on one machine. Frames are delivered to the
-// peer NIC through its machine's interrupt controller; the registered
-// receive upcall is the driver's entry point.
+// Wire is the attachable transport behind a NIC's transmitter. Send charges
+// the driver and host-interface costs, serializes the frame on the NIC's
+// transmitter, and hands it to the wire with the time serialization
+// finished; the wire owns everything from there — propagation delay, loss
+// and reordering models, multi-hop forwarding through switches — and
+// ultimately schedules arrival on a destination NIC via DeliverAt. Connect
+// installs the trivial point-to-point wire; internal/vnet installs modeled
+// links and switched topologies.
+type Wire interface {
+	// Transmit carries f, which finished serializing out of the sending
+	// NIC at departed (sender-local virtual time).
+	Transmit(f NetFrame, departed sim.Time)
+}
+
+// NIC is one network interface on one machine. Frames leave through the
+// attached Wire and are delivered to the destination NIC through its
+// machine's interrupt controller; the registered receive upcall is the
+// driver's entry point.
+//
+// Counters are atomics: they are mutated in interrupt context (the
+// simulation goroutine) while Stats/Dropped/RXDropped may be read from
+// other goroutines (tests, debug endpoints, parallel RX workers).
 type NIC struct {
 	Model  NICModel
 	engine *sim.Engine
@@ -145,7 +165,7 @@ type NIC struct {
 	ic     *InterruptController
 	vector InterruptVector
 
-	peer     *NIC
+	wire     Wire
 	txFreeAt sim.Time
 
 	// OnReceive is the driver receive upcall, called in interrupt context
@@ -160,11 +180,11 @@ type NIC struct {
 	lossRate float64
 	lossRng  *sim.Rand
 
-	sent, received int64
-	bytesSent      int64
-	bytesReceived  int64
-	dropped        int64
-	rxDropped      int64
+	sent, received atomic.Int64
+	bytesSent      atomic.Int64
+	bytesReceived  atomic.Int64
+	dropped        atomic.Int64
+	rxDropped      atomic.Int64
 }
 
 // InjectLoss makes the NIC drop outbound frames with probability p,
@@ -175,11 +195,11 @@ func (n *NIC) InjectLoss(p float64, seed uint64) {
 }
 
 // Dropped reports frames lost to injection.
-func (n *NIC) Dropped() int64 { return n.dropped }
+func (n *NIC) Dropped() int64 { return n.dropped.Load() }
 
 // RXDropped reports received frames the driver upcall refused — arrivals
 // that found the stack's bounded RX queue full.
-func (n *NIC) RXDropped() int64 { return n.rxDropped }
+func (n *NIC) RXDropped() int64 { return n.rxDropped.Load() }
 
 // NewNIC creates an interface of the given model on the machine described
 // by engine/ic, delivering receive interrupts on vector.
@@ -195,13 +215,38 @@ func NewNIC(model NICModel, engine *sim.Engine, ic *InterruptController, vector 
 		f := payload.(NetFrame)
 		n.clock.Advance(n.Model.DriverRecvCost)
 		n.clock.Advance(n.Model.hostMoveCost(f.Size))
-		n.received++
-		n.bytesReceived += int64(f.Size)
+		n.received.Add(1)
+		n.bytesReceived.Add(int64(f.Size))
 		if n.OnReceive != nil && !n.OnReceive(f) {
-			n.rxDropped++
+			n.rxDropped.Add(1)
 		}
 	})
 	return n
+}
+
+// AttachWire installs w as the NIC's outbound transport, replacing any
+// previous wire. Topology builders (internal/vnet) use this to hang a NIC
+// off a modeled link or switch port instead of a fixed peer.
+func (n *NIC) AttachWire(w Wire) { n.wire = w }
+
+// Wire returns the attached outbound transport (nil when unconnected).
+func (n *NIC) Wire() Wire { return n.wire }
+
+// DeliverAt schedules f's receive interrupt on this NIC at absolute virtual
+// time t — the receive-side entry point wires and switch nodes use.
+func (n *NIC) DeliverAt(t sim.Time, f NetFrame) {
+	n.ic.RaiseAt(t, n.vector, f)
+}
+
+// ptpWire is the point-to-point wire Connect installs: fixed hardware
+// latency straight to the peer NIC.
+type ptpWire struct {
+	to      *NIC
+	latency sim.Duration
+}
+
+func (w *ptpWire) Transmit(f NetFrame, departed sim.Time) {
+	w.to.DeliverAt(departed.Add(w.latency), f)
 }
 
 // Connect joins two NICs with a full-duplex link. Both must share a model
@@ -210,16 +255,17 @@ func Connect(a, b *NIC) error {
 	if a.Model.Name != b.Model.Name {
 		return fmt.Errorf("sal: cannot connect %s to %s", a.Model.Name, b.Model.Name)
 	}
-	a.peer = b
-	b.peer = a
+	a.wire = &ptpWire{to: b, latency: a.Model.FixedLatency}
+	b.wire = &ptpWire{to: a, latency: b.Model.FixedLatency}
 	return nil
 }
 
-// Send transmits a frame to the peer: it charges the driver send path and
-// data movement to this machine's CPU, serializes on the transmitter, and
-// schedules the receive interrupt on the peer's machine.
+// Send transmits a frame: it charges the driver send path and data movement
+// to this machine's CPU, serializes on the transmitter, and hands the frame
+// to the attached wire, which schedules the receive interrupt on the
+// destination machine.
 func (n *NIC) Send(f NetFrame) error {
-	if n.peer == nil {
+	if n.wire == nil {
 		return fmt.Errorf("sal: %s not connected", n.Model.Name)
 	}
 	n.clock.Advance(n.Model.DriverSendCost)
@@ -230,27 +276,33 @@ func (n *NIC) Send(f NetFrame) error {
 	}
 	tx := n.Model.TxTime(f.Size)
 	n.txFreeAt = start.Add(tx)
-	arrival := n.txFreeAt.Add(n.Model.FixedLatency)
-	n.sent++
-	n.bytesSent += int64(f.Size)
+	n.sent.Add(1)
+	n.bytesSent.Add(int64(f.Size))
 	if n.lossRate > 0 && n.lossRng != nil && n.lossRng.Float64() < n.lossRate {
 		// The frame occupies the wire but never arrives (CRC error,
 		// collision): the transmitter cannot tell. A refcounted payload
 		// (netstack's pooled packets) is recycled here — the end of the
 		// frame's life. The interface assertion keeps sal independent of
 		// the protocol stack's packet type.
-		n.dropped++
-		if r, ok := f.Payload.(interface{ Release() }); ok {
-			r.Release()
-		}
+		n.dropped.Add(1)
+		ReleaseFrame(f)
 		return nil
 	}
-	peer := n.peer
-	peer.ic.RaiseAt(arrival, peer.vector, f)
+	n.wire.Transmit(f, n.txFreeAt)
 	return nil
+}
+
+// ReleaseFrame recycles a frame's payload at the end of its life (a
+// refcounted netstack packet dropped by a wire, link or switch). The
+// interface assertion keeps sal independent of the protocol stack's packet
+// type; foreign payloads are untouched.
+func ReleaseFrame(f NetFrame) {
+	if r, ok := f.Payload.(interface{ Release() }); ok {
+		r.Release()
+	}
 }
 
 // Stats reports frames and bytes in each direction.
 func (n *NIC) Stats() (sent, received, bytesSent, bytesReceived int64) {
-	return n.sent, n.received, n.bytesSent, n.bytesReceived
+	return n.sent.Load(), n.received.Load(), n.bytesSent.Load(), n.bytesReceived.Load()
 }

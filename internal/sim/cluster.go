@@ -99,15 +99,15 @@ func (e *Engine) NextEventTime() (Time, bool) {
 }
 
 func popCancelled(e *Engine) {
-	// Only called when queue head is cancelled.
+	// Only called when the queue head is cancelled: a manual heap pop
+	// (container/heap's Pop without the interface indirection) that marks
+	// the discarded event as off-heap.
 	ev := e.queue[0]
-	_ = ev
-	// heap.Pop without import cycle: reuse Step's discard logic by
-	// swapping in a manual pop.
 	n := len(e.queue)
 	e.queue.Swap(0, n-1)
 	e.queue[n-1] = nil
 	e.queue = e.queue[:n-1]
+	ev.index = -1
 	if n > 1 {
 		siftDown(e.queue, 0)
 	}

@@ -113,6 +113,72 @@ func TestNextEventTimeManyCancelled(t *testing.T) {
 	}
 }
 
+// Cancelled-head discard across a multi-engine cluster: NextEventTime must
+// skip (and physically pop) cancelled heads on every engine so the
+// conservative scheduler picks the true global minimum, and the discarded
+// events must be marked off-heap.
+func TestClusterCancelledHeadsAcrossEngines(t *testing.T) {
+	a, b, c := NewEngine(), NewEngine(), NewEngine()
+	var order []string
+	// a's earliest two events are cancelled; its first live event is at 30.
+	ca1 := a.At(1, func() { order = append(order, "a1") })
+	ca2 := a.At(2, func() { order = append(order, "a2") })
+	a.At(30, func() { order = append(order, "a30") })
+	// b's head is cancelled; live at 10.
+	cb := b.At(3, func() { order = append(order, "b3") })
+	b.At(10, func() { order = append(order, "b10") })
+	// c is entirely cancelled.
+	cc := c.At(4, func() { order = append(order, "c4") })
+	for _, ev := range []*Event{ca1, ca2, cb, cc} {
+		ev.Cancel()
+	}
+
+	// NextEventTime on each engine reports the earliest live event and
+	// discards the cancelled heads as a side effect.
+	if at, ok := a.NextEventTime(); !ok || at != 30 {
+		t.Fatalf("a.NextEventTime = %v,%v want 30,true", at, ok)
+	}
+	if at, ok := b.NextEventTime(); !ok || at != 10 {
+		t.Fatalf("b.NextEventTime = %v,%v want 10,true", at, ok)
+	}
+	if _, ok := c.NextEventTime(); ok {
+		t.Fatal("all-cancelled engine reported a next event")
+	}
+	// Discarded events are marked off-heap (index -1), matching Step's
+	// contract for popped events.
+	for i, ev := range []*Event{ca1, ca2, cb, cc} {
+		if ev.index != -1 {
+			t.Errorf("cancelled event %d still has heap index %d", i, ev.index)
+		}
+	}
+
+	n := NewCluster(a, b, c).Run(0)
+	if n != 2 {
+		t.Fatalf("cluster ran %d events, want 2", n)
+	}
+	if len(order) != 2 || order[0] != "b10" || order[1] != "a30" {
+		t.Fatalf("order = %v, want [b10 a30]", order)
+	}
+}
+
+// A head cancelled between scheduling and stepping must not stall Run: the
+// cluster's next() keeps discarding until the queues drain.
+func TestClusterCancelDuringRun(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	var later *Event
+	ran := false
+	a.At(5, func() { later.Cancel() })
+	later = b.At(10, func() { ran = true })
+	b.At(20, func() {})
+	NewCluster(a, b).Run(0)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if b.Now() != 20 {
+		t.Errorf("b clock = %v, want 20", b.Now())
+	}
+}
+
 func TestClusterEmpty(t *testing.T) {
 	c := NewCluster()
 	if c.Step() {

@@ -1,0 +1,231 @@
+package vnet
+
+import (
+	"fmt"
+
+	"spin/internal/netstack"
+	"spin/internal/sim"
+)
+
+// Conversation is one cross-machine TCP transfer for the harness: From
+// connects to To on Port and streams Bytes of a deterministic pattern; the
+// server side verifies every byte as it arrives.
+type Conversation struct {
+	From, To string
+	Port     uint16
+	Bytes    int
+	// Chunk is the application write size (default 4096).
+	Chunk int
+}
+
+// ConvResult is one conversation's outcome.
+type ConvResult struct {
+	From, To string
+	Port     uint16
+	// Received counts verified in-order bytes at the server.
+	Received int
+	// Complete reports the full payload arrived before the deadline.
+	Complete bool
+	// Corrupt reports a byte arrived that did not match the pattern —
+	// must never happen, whatever the links did.
+	Corrupt bool
+	// Retransmits is the client connection's retransmission count.
+	Retransmits int64
+}
+
+// pattern is the deterministic payload byte at offset off of conversation
+// idx — cheap to generate on both sides, position-sensitive so swapped or
+// duplicated-into-stream bytes are caught.
+func pattern(idx, off int) byte { return byte(idx*31 + off*7 + 11) }
+
+// RunConversations drives convs over the topology until every transfer
+// completes or the earliest pending event passes deadline (0 = drain).
+// Conversations with Port 0 get distinct ports from 4000 up. The returned
+// results are in convs order; err is non-nil only for harness misuse
+// (unknown machine), never for lost traffic.
+func RunConversations(in *Internet, convs []Conversation, deadline sim.Time) ([]ConvResult, error) {
+	results := make([]ConvResult, len(convs))
+	done := 0
+	for i := range convs {
+		c := convs[i]
+		if c.Port == 0 {
+			c.Port = uint16(4000 + i)
+		}
+		if c.Chunk <= 0 {
+			c.Chunk = 4096
+		}
+		r := &results[i]
+		r.From, r.To, r.Port = c.From, c.To, c.Port
+		server := in.Machine(c.To)
+		client := in.Machine(c.From)
+		if server == nil || client == nil {
+			return nil, fmt.Errorf("vnet: conversation %d: unknown machine %q or %q", i, c.From, c.To)
+		}
+		idx, total := i, c.Bytes
+		err := server.Stack.TCP().Listen(c.Port, netstack.InKernelDelivery, func(conn *netstack.Conn) {
+			conn.OnData = func(_ *netstack.Conn, b []byte) {
+				for _, by := range b {
+					if by != pattern(idx, r.Received) {
+						r.Corrupt = true
+					}
+					r.Received++
+				}
+				if r.Received >= total && !r.Complete {
+					r.Complete = true
+					done++
+				}
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vnet: conversation %d: listen: %w", i, err)
+		}
+		conn, err := client.Stack.TCP().Connect(server.Stack.IP, c.Port, netstack.InKernelDelivery)
+		if err != nil {
+			return nil, fmt.Errorf("vnet: conversation %d: connect: %w", i, err)
+		}
+		chunk := c.Chunk
+		conn.OnConnect = func(cn *netstack.Conn) {
+			buf := make([]byte, 0, chunk)
+			for off := 0; off < total; {
+				n := chunk
+				if off+n > total {
+					n = total - off
+				}
+				buf = buf[:0]
+				for j := 0; j < n; j++ {
+					buf = append(buf, pattern(idx, off+j))
+				}
+				_ = cn.Send(buf)
+				off += n
+			}
+		}
+		rr := r
+		cc := conn
+		defer func() { rr.Retransmits = cc.Retransmits() }()
+	}
+	in.RunUntil(func() bool { return done == len(convs) }, deadline)
+	return results, nil
+}
+
+// CheckReplay builds and drives the same scenario runs times and verifies
+// every run produces an identical fingerprint — the determinism gate. It
+// returns the common fingerprint.
+func CheckReplay(runs int, build func() (*Internet, error), drive func(*Internet) error) (uint64, error) {
+	var fp uint64
+	for i := 0; i < runs; i++ {
+		in, err := build()
+		if err != nil {
+			return 0, fmt.Errorf("vnet: replay run %d: build: %w", i, err)
+		}
+		if drive != nil {
+			if err := drive(in); err != nil {
+				return 0, fmt.Errorf("vnet: replay run %d: drive: %w", i, err)
+			}
+		}
+		f := in.Fingerprint()
+		if i == 0 {
+			fp = f
+		} else if f != fp {
+			return 0, fmt.Errorf("vnet: replay diverged: run %d fingerprint %#x != run 0 %#x", i, f, fp)
+		}
+	}
+	return fp, nil
+}
+
+// MatrixConfig is one cell of the conversation matrix: a star topology of
+// Machines hosts whose spokes all carry Loss/Reorder, Conversations
+// concurrent pairwise transfers of Bytes each, optionally partitioned
+// mid-flight (one spoke flapped down and up).
+type MatrixConfig struct {
+	Name          string
+	Machines      int
+	Loss, Reorder float64
+	Partition     bool
+	Conversations int
+	Bytes         int
+	Seed          uint64
+}
+
+// Deadline is the virtual-time budget for one matrix cell: generous enough
+// for lossy, partitioned transfers (retransmission timeout is 200ms
+// virtual), tight enough that a wedged transfer fails fast.
+const matrixDeadline = sim.Time(120 * sim.Second)
+
+// RunMatrixCell builds the cell's topology, drives its conversations, and
+// returns the results plus the run's fingerprint. Every transfer must
+// complete with zero corruption; the first violation is the returned error.
+func RunMatrixCell(cfg MatrixConfig) ([]ConvResult, uint64, error) {
+	spoke := LinkModel{
+		Latency:      200 * sim.Microsecond,
+		Loss:         cfg.Loss,
+		Reorder:      cfg.Reorder,
+		ReorderDelay: 300 * sim.Microsecond,
+	}
+	in, err := Star(cfg.Machines, spoke, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.Partition {
+		// Cut host 0's spoke 1ms in — early enough that no transfer over
+		// it has finished — and heal it at 600ms; TCP must ride it out.
+		if err := in.FlapLink("h0~s0", sim.Time(1*sim.Millisecond), sim.Time(600*sim.Millisecond)); err != nil {
+			return nil, 0, err
+		}
+	}
+	convs := make([]Conversation, cfg.Conversations)
+	for i := range convs {
+		convs[i] = Conversation{
+			From:  fmt.Sprintf("h%d", i%cfg.Machines),
+			To:    fmt.Sprintf("h%d", (i+cfg.Machines/2)%cfg.Machines),
+			Bytes: cfg.Bytes,
+		}
+	}
+	results, err := RunConversations(in, convs, matrixDeadline)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, r := range results {
+		if !r.Complete {
+			return results, 0, fmt.Errorf("vnet: %s: %s->%s:%d incomplete (%d/%d bytes)",
+				cfg.Name, r.From, r.To, r.Port, r.Received, cfg.Bytes)
+		}
+		if r.Corrupt {
+			return results, 0, fmt.Errorf("vnet: %s: %s->%s:%d corrupted", cfg.Name, r.From, r.To, r.Port)
+		}
+	}
+	return results, in.Fingerprint(), nil
+}
+
+// DefaultMatrix is the harness's standard sweep: loss × reorder ×
+// partition × machine count, every cell a complete seeded scenario.
+func DefaultMatrix() []MatrixConfig {
+	var out []MatrixConfig
+	for _, machines := range []int{2, 4, 8} {
+		for _, loss := range []float64{0, 0.05} {
+			for _, reorder := range []float64{0, 0.1} {
+				out = append(out, MatrixConfig{
+					Name:          fmt.Sprintf("m%d/loss%.2f/reorder%.1f", machines, loss, reorder),
+					Machines:      machines,
+					Loss:          loss,
+					Reorder:       reorder,
+					Conversations: machines / 2,
+					Bytes:         16 << 10,
+					Seed:          uint64(machines)*1000 + uint64(loss*100)*10 + uint64(reorder*10),
+				})
+			}
+		}
+	}
+	// Partition cells: clean and lossy.
+	for _, loss := range []float64{0, 0.02} {
+		out = append(out, MatrixConfig{
+			Name:          fmt.Sprintf("m4/partition/loss%.2f", loss),
+			Machines:      4,
+			Loss:          loss,
+			Partition:     true,
+			Conversations: 2,
+			Bytes:         32 << 10,
+			Seed:          7_000 + uint64(loss*100),
+		})
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package vnet
+
+import (
+	"encoding/binary"
+
+	"spin/internal/faultinject"
+	"spin/internal/netstack"
+	"spin/internal/sal"
+	"spin/internal/sim"
+	"spin/internal/trace"
+)
+
+// LinkModel is the performance and fault model of one link. The zero value
+// is an ideal wire: no latency, no bandwidth constraint beyond the NICs'
+// own, no loss, no reordering, no duplication.
+type LinkModel struct {
+	// Latency is the one-way propagation delay.
+	Latency sim.Duration
+	// BandwidthBps, when non-zero, serializes frames at this rate on the
+	// link itself — the bottleneck model for dumbbell experiments. NIC-side
+	// serialization (the sender's wire rate) still applies first.
+	BandwidthBps int64
+	// Loss drops frames in flight with this probability, seeded and
+	// per-direction, so a run replays exactly.
+	Loss float64
+	// Reorder delays a frame by ReorderDelay with this probability, letting
+	// later frames overtake it.
+	Reorder      float64
+	ReorderDelay sim.Duration
+	// Duplicate delivers a frame twice with this probability.
+	Duplicate float64
+}
+
+// Verdict is a netem hook's decision about one frame.
+type Verdict uint8
+
+// Hook verdicts.
+const (
+	// Pass lets the frame continue (possibly altered, possibly delayed).
+	Pass Verdict = iota
+	// Drop discards the frame; the peer never sees it.
+	Drop
+)
+
+// FrameEvent is what a netem hook observes: one frame entering a link
+// direction, after NIC-side serialization and before the link's own fault
+// models run. Hooks may mutate the frame (size, payload packet fields) and
+// add delay; returning Drop discards it.
+type FrameEvent struct {
+	// Link and Dir identify where the frame is ("a~b", "h1->s0").
+	Link, Dir string
+	// Frame is the frame in flight, mutable in place.
+	Frame *sal.NetFrame
+	// Depart is when the frame finished serializing out of the sender.
+	Depart sim.Time
+	// ExtraDelay is added to the frame's arrival time; hooks accumulate
+	// into it (netem-style delay injection).
+	ExtraDelay sim.Duration
+}
+
+// Hook inspects, alters, delays or drops frames on a link direction. Hooks
+// run in frame-transmit order on the sending machine's goroutine; they must
+// not block.
+type Hook func(ev *FrameEvent) Verdict
+
+// LinkStats counts one direction's traffic.
+type LinkStats struct {
+	// Delivered frames reached the far endpoint (duplicates included).
+	Delivered int64
+	// Lost frames were dropped by the seeded loss model.
+	Lost int64
+	// Down frames were dropped because the link was administratively down.
+	Down int64
+	// HookDropped frames were dropped by a netem hook.
+	HookDropped int64
+	// Injected frames were dropped by a faultinject rule at the link site.
+	Injected int64
+	// Duplicated and Reordered count the fault models firing.
+	Duplicated, Reordered int64
+}
+
+// endpoint is anything a link can deliver frames to: a host NIC or a switch
+// port. Both schedule the arrival on their own machine's engine.
+type endpoint interface {
+	DeliverAt(t sim.Time, f sal.NetFrame)
+}
+
+// half is one direction of a link. It implements sal.Wire: the sending NIC
+// (or switch port) hands it frames with serialization already applied, and
+// the half owns everything to the far endpoint — bandwidth, loss, reorder,
+// duplication, hooks, capture, digest.
+type half struct {
+	link   *Link
+	dir    string
+	to     endpoint
+	rng    *sim.Rand
+	freeAt sim.Time // link-bandwidth serialization
+
+	stats   LinkStats
+	digest  uint64
+	scratch []byte
+}
+
+// Link is a full-duplex modeled link between two nodes of an Internet. Both
+// directions share the model but have independent PRNGs, counters and
+// digests.
+type Link struct {
+	Name  string
+	Model LinkModel
+
+	ab, ba *half // a->b, b->a
+
+	down  bool
+	hooks []Hook
+
+	// inj/tr/cap are set by the Internet (EnableFaultInjection,
+	// EnableTracing, CaptureLink) before the simulation runs.
+	inj *faultinject.Injector
+	tr  *trace.Tracer
+	cap *Capture
+
+	// site is the per-link faultinject site name, "vnet.link:<name>".
+	site string
+}
+
+func newLink(name string, model LinkModel, seed uint64) *Link {
+	l := &Link{Name: name, Model: model, site: "vnet.link:" + name}
+	l.ab = &half{link: l, rng: sim.NewRand(mix64(seed ^ hashString(name)))}
+	l.ba = &half{link: l, rng: sim.NewRand(mix64(seed ^ hashString(name) ^ 0x9e37))}
+	return l
+}
+
+// SetDown administratively downs (true) or restores (false) the link; while
+// down every frame in either direction is dropped. Schedule flips from the
+// Internet's coordinator engine (FlapLink) so they land at a deterministic
+// virtual time.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports the administrative state.
+func (l *Link) IsDown() bool { return l.down }
+
+// AddHook appends a netem hook observing both directions, run in
+// registration order; the first Drop wins.
+func (l *Link) AddHook(h Hook) { l.hooks = append(l.hooks, h) }
+
+// Stats returns both directions' counters (a->b, b->a — the a side is the
+// first node named when the link was built).
+func (l *Link) Stats() (ab, ba LinkStats) { return l.ab.stats, l.ba.stats }
+
+// Digests returns the per-direction frame-order digests: a chained hash
+// over (encoded frame bytes, arrival time) of every delivered frame. Two
+// runs of the same seeded topology produce byte-identical traffic exactly
+// when these match on every link.
+func (l *Link) Digests() (ab, ba uint64) { return l.ab.digest, l.ba.digest }
+
+// mix64 is the splitmix64 finalizer — deterministic 64-bit mixing for
+// seeds and digests.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string into 64 bits (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hashBytes folds a byte slice into 64 bits (FNV-1a).
+func hashBytes(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// txTime returns the link-side serialization time for n bytes (zero when
+// the link has no bandwidth constraint of its own).
+func (m *LinkModel) txTime(n int) sim.Duration {
+	if m.BandwidthBps <= 0 {
+		return 0
+	}
+	return sim.Duration(int64(n) * 8 * int64(sim.Second) / m.BandwidthBps)
+}
+
+// encode renders the frame's wire bytes into the half's scratch buffer —
+// netstack packets get their real wire form (what pcap and the digest see);
+// foreign payloads are represented by their size.
+func (h *half) encode(f sal.NetFrame) []byte {
+	if pkt, ok := f.Payload.(*netstack.Packet); ok {
+		h.scratch = netstack.AppendPacket(h.scratch[:0], pkt)
+		return h.scratch
+	}
+	h.scratch = binary.LittleEndian.AppendUint64(h.scratch[:0], uint64(f.Size))
+	return h.scratch
+}
+
+// drop discards a frame (releasing a pooled payload) and traces the event.
+func (h *half) drop(f sal.NetFrame, at sim.Time, why string) {
+	sal.ReleaseFrame(f)
+	if h.link.tr != nil {
+		h.link.tr.Trace(trace.Record{
+			Event: "vnet.link." + why, Origin: h.link.Name + " " + h.dir,
+			Start: at, Outcome: trace.OutcomeFaulted,
+		})
+	}
+}
+
+// Transmit carries one frame across this direction: administrative state,
+// fault injection, hooks, link-bandwidth serialization, seeded loss /
+// reorder / duplication, then arrival at the far endpoint. Runs on the
+// sending node's goroutine at its virtual "departed" time.
+func (h *half) Transmit(f sal.NetFrame, departed sim.Time) {
+	l := h.link
+	if l.down {
+		h.stats.Down++
+		h.drop(f, departed, "down")
+		return
+	}
+	var extra sim.Duration
+	// Fault injection: the per-link site first, then the generic one.
+	for _, site := range [2]string{l.site, "vnet.link"} {
+		ft := l.inj.Fire(site)
+		if !ft.Fired() {
+			continue
+		}
+		switch ft.Kind {
+		case faultinject.KindDrop, faultinject.KindError:
+			h.stats.Injected++
+			h.drop(f, departed, "injected")
+			return
+		case faultinject.KindDelay:
+			// The injector has a nil clock here: the delay is returned,
+			// not charged to any CPU, and stretches the flight time.
+			extra += ft.Delay
+		}
+		break
+	}
+	// Netem hooks: inspect / alter / delay / drop.
+	if len(l.hooks) > 0 {
+		ev := FrameEvent{Link: l.Name, Dir: h.dir, Frame: &f, Depart: departed, ExtraDelay: extra}
+		for _, hook := range l.hooks {
+			if hook(&ev) == Drop {
+				h.stats.HookDropped++
+				h.drop(f, departed, "hook-drop")
+				return
+			}
+		}
+		extra = ev.ExtraDelay
+	}
+	// Link-bandwidth serialization (bottleneck links).
+	start := departed
+	if h.freeAt > start {
+		start = h.freeAt
+	}
+	tx := l.Model.txTime(f.Size)
+	h.freeAt = start.Add(tx)
+	arrival := h.freeAt.Add(l.Model.Latency + extra)
+	// Seeded fault models, fixed draw order per frame: loss, reorder, dup.
+	if l.Model.Loss > 0 && h.rng.Float64() < l.Model.Loss {
+		h.stats.Lost++
+		h.drop(f, departed, "lost")
+		return
+	}
+	if l.Model.Reorder > 0 && h.rng.Float64() < l.Model.Reorder {
+		h.stats.Reordered++
+		arrival = arrival.Add(l.Model.ReorderDelay)
+	}
+	dup := l.Model.Duplicate > 0 && h.rng.Float64() < l.Model.Duplicate
+	h.deliver(f, arrival)
+	if dup {
+		h.stats.Duplicated++
+		h.deliver(cloneFrame(f), arrival)
+	}
+}
+
+// deliver commits one frame arrival: digest, capture, trace, then the far
+// endpoint's interrupt (or switch forwarding step) at the arrival time.
+func (h *half) deliver(f sal.NetFrame, arrival sim.Time) {
+	wire := h.encode(f)
+	h.digest = mix64(h.digest ^ hashBytes(wire) ^ uint64(arrival))
+	h.stats.Delivered++
+	if h.link.cap != nil {
+		h.link.cap.Record(arrival, wire)
+	}
+	if h.link.tr != nil {
+		h.link.tr.Trace(trace.Record{
+			Event: "vnet.link.deliver", Origin: h.link.Name + " " + h.dir,
+			Start: arrival,
+		})
+	}
+	h.to.DeliverAt(arrival, f)
+}
+
+// cloneFrame deep-copies a frame for duplicate delivery: the two arrivals
+// have independent lifetimes, so a pooled packet must not be shared.
+func cloneFrame(f sal.NetFrame) sal.NetFrame {
+	if pkt, ok := f.Payload.(*netstack.Packet); ok {
+		return sal.NetFrame{Size: f.Size, Payload: pkt.Clone()}
+	}
+	return f
+}

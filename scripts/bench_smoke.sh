@@ -10,7 +10,11 @@
 #     regressed more than 10% against the baseline, or
 #   - the steady-state TCP RX path allocates at all (any allocs/op above
 #     the committed rx_allocs_per_packet baseline fails — no 10% slack:
-#     one alloc per packet is the whole regression).
+#     one alloc per packet is the whole regression), or
+#   - vnet per-hop forwarding (switched-topology link traversal) regressed
+#     more than 2x against the baseline. The 2x allowance absorbs CI
+#     wall-clock noise; the gate catches order-of-magnitude regressions in
+#     the topology hot path.
 #
 # The dispatch and conn-setup numbers are the min over BENCH_COUNT runs:
 # both are short loops dominated by scheduler noise, so min-of-N is the
@@ -57,7 +61,12 @@ rx_out=$(go test -run '^$' -bench 'TCPSteadyRX$' -benchtime=200000x -benchmem .)
 echo "$rx_out"
 rx_allocs=$(metric "$rx_out" BenchmarkTCPSteadyRX "allocs/op")
 
-for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs"; do
+echo "== vnet per-hop forwarding (min of $runs runs) =="
+vnet_out=$(go test -run '^$' -bench 'VnetHop$' -benchtime=20000x -count="$runs" ./internal/vnet/)
+echo "$vnet_out"
+vnet_hop_ns=$(metric "$vnet_out" BenchmarkVnetHop "vnet-hop-ns" | sort -g | head -1)
+
+for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns"; do
   if [ -z "$v" ]; then
     echo "FAIL: could not parse a benchmark metric" >&2
     exit 1
@@ -73,7 +82,8 @@ cat > "$out" <<JSON
   "parallel_makespan_4cpu_us": $mk4,
   "parallel_steals_4cpu": $steals4,
   "conn_setup_ns": $conn_setup_ns,
-  "rx_allocs_per_packet": $rx_allocs
+  "rx_allocs_per_packet": $rx_allocs,
+  "vnet_hop_ns": $vnet_hop_ns
 }
 JSON
 echo "wrote $out:"
@@ -110,5 +120,16 @@ awk -v cur="$conn_setup_ns" -v base="$base_setup" 'BEGIN {
 awk -v cur="$rx_allocs" -v base="$base_rx_allocs" 'BEGIN {
   printf "tcp steady RX: %s allocs/packet (baseline %s; any growth fails)\n", cur, base
   if (cur + 0 > base + 0) { print "FAIL: steady-state TCP RX path started allocating per packet"; exit 1 }
+}'
+
+base_hop=$(awk -F'[:,]' '/"vnet_hop_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_hop" ]; then
+  echo "FAIL: no vnet_hop_ns in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$vnet_hop_ns" -v base="$base_hop" 'BEGIN {
+  limit = base * 2.0
+  printf "vnet per-hop forwarding: %s ns/hop (baseline %s, limit %.2f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: vnet per-hop forwarding regressed >2x vs committed baseline"; exit 1 }
 }'
 echo "bench smoke OK"

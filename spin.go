@@ -78,7 +78,8 @@ type Machine struct {
 	// Extern is the externalized-reference table for user applications.
 	Extern *capability.Table
 
-	nics     map[string]*sal.NIC
+	nics     []*sal.NIC
+	engines  []*sim.Engine
 	nextVec  sal.InterruptVector
 	public   *domain.T
 	extCount int
@@ -119,7 +120,6 @@ func NewMachine(name string, cfg Config) (*Machine, error) {
 		Engine:  eng,
 		Clock:   eng.Clock,
 		Profile: cfg.Profile,
-		nics:    make(map[string]*sal.NIC),
 		nextVec: sal.VecNIC0,
 	}
 	m.Dispatcher = dispatch.New(eng, cfg.Profile)
@@ -140,6 +140,7 @@ func NewMachine(name string, cfg Config) (*Machine, error) {
 	for i := 1; i < cfg.CPUs; i++ {
 		engines = append(engines, sim.NewEngine())
 	}
+	m.engines = engines
 	m.Sched, err = strand.NewMultiScheduler(cfg.Profile, m.Dispatcher, engines...)
 	if err != nil {
 		return nil, fmt.Errorf("spin: boot scheduler: %w", err)
@@ -257,14 +258,25 @@ func (m *Machine) LoadExtension(obj *safe.ObjectFile) (*domain.T, error) {
 func (m *Machine) Extensions() int { return m.extCount }
 
 // AddNIC attaches a network interface of the given model and plumbs it into
-// the protocol stack.
+// the protocol stack. A machine may carry several NICs of the same model
+// (a router with one interface per attached link).
 func (m *Machine) AddNIC(model sal.NICModel) *sal.NIC {
 	nic := sal.NewNIC(model, m.Engine, m.IC, m.nextVec)
 	m.nextVec++
-	m.nics[model.Name] = nic
+	m.nics = append(m.nics, nic)
 	m.Stack.Attach(nic)
 	return nic
 }
+
+// NICs returns the machine's network interfaces in AddNIC order (the slice
+// is shared; callers must not mutate it).
+func (m *Machine) NICs() []*sal.NIC { return m.nics }
+
+// Engines returns every simulation engine the machine owns: the boot
+// engine first, then one per extra CPU. Topology builders (internal/vnet)
+// register the boot engine with their cluster; extra CPU engines are driven
+// by the strand scheduler.
+func (m *Machine) Engines() []*sim.Engine { return m.engines }
 
 // Syscall models a user-level application invoking a kernel service: the
 // trap handler raises the Trap.SystemCall event, which is dispatched to a
