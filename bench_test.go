@@ -19,6 +19,7 @@ import (
 	"spin/internal/sal"
 	"spin/internal/sim"
 	"spin/internal/trace"
+	"spin/internal/vnet"
 )
 
 // runExperiment executes one experiment per benchmark iteration and reports
@@ -349,6 +350,93 @@ func BenchmarkMillionConns(b *testing.B) { benchmarkConnScaling(b, 1<<20) }
 // BenchmarkTCPConnSetup is the smoke-gated setup-cost probe: small enough
 // to run in CI, same code path as BenchmarkMillionConns.
 func BenchmarkTCPConnSetup(b *testing.B) { benchmarkConnScaling(b, 1<<16) }
+
+// --- Naming and sockets: resolve + dial latency ---------------------------
+
+// namedBenchStar builds the 3-machine named-service star used by the DNS and
+// dial benchmarks: client, nameserver, and web server around one switch with
+// 200µs edges.
+func namedBenchStar(b *testing.B) *vnet.Internet {
+	b.Helper()
+	edge := vnet.LinkModel{Latency: 200 * sim.Microsecond}
+	in, err := vnet.NewBuilder(1).
+		Machine("web", 0).
+		Machine("client", 0).
+		Machine("ns", 0).
+		Switch("s0").
+		Link("web", "s0", edge).
+		Link("client", "s0", edge).
+		Link("ns", "s0", edge).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := in.EnableDNS("ns"); err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkDNSResolve measures an uncached hostname resolution across the
+// star: query out, authoritative answer back. The reported dns-resolve-ns is
+// VIRTUAL latency — deterministic, so the smoke gate can hold it to a tight
+// bound; ns/op is the host cost of simulating it.
+func BenchmarkDNSResolve(b *testing.B) {
+	in := namedBenchStar(b)
+	client := in.Machine("client")
+	var virt sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.Resolver.FlushCache()
+		done := false
+		start := client.Clock.Now()
+		client.Resolver.LookupA("web.spin.test", func(_ []netstack.IPAddr, err error) {
+			if err != nil {
+				b.Error(err)
+			}
+			done = true
+		})
+		if !in.RunUntil(func() bool { return done }, 0) {
+			b.Fatal("resolve hung")
+		}
+		virt = client.Clock.Now().Sub(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(virt), "dns-resolve-ns")
+}
+
+// BenchmarkDialEstablished measures a socket-layer dial to a listening peer:
+// SYN out, SYN|ACK back, Dial returns on the client's transition to
+// ESTABLISHED. dial-established-ns is virtual latency, as above.
+func BenchmarkDialEstablished(b *testing.B) {
+	in := namedBenchStar(b)
+	web := in.Machine("web")
+	if err := web.Stack.TCP().Listen(80, nil, func(*netstack.Conn) {}); err != nil {
+		b.Fatal(err)
+	}
+	dialer, err := in.Dialer("client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := in.Machine("client")
+	addr := netstack.SockAddr{IP: in.IP("web"), Port: 80}.String()
+	var virt sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := client.Clock.Now()
+		c, err := dialer.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = client.Clock.Now().Sub(start)
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		in.Driver().Drain() // let the FIN exchange retire the conn
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(virt), "dial-established-ns")
+}
 
 // BenchmarkTCPSteadyRX measures steady-state segment delivery on one
 // established connection, driven straight into the TCP module. The path —

@@ -28,7 +28,7 @@ func main() {
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
 			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "sched",
-			"tlb", "mem", "frame 300", "topo", "uptime"}
+			"tlb", "mem", "frame 300", "topo", "dns", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)
@@ -59,6 +59,16 @@ func run(cmds []string) error {
 	}
 	target, workstation := in.Machine("target-kernel"), in.Machine("workstation")
 
+	// Network naming: the target doubles as the topology's DNS authority,
+	// and the debugger is published as "dbg.spin.test" — the workstation
+	// attaches by name, not by a hard-coded address.
+	if err := in.EnableDNS("target-kernel"); err != nil {
+		return err
+	}
+	if err := in.AddName("dbg", "target-kernel"); err != nil {
+		return err
+	}
+
 	// Give the target a live workload so the statistics mean something.
 	if _, err := netstack.NewHTTPServer(target.Stack, 80, netstack.InKernelDelivery,
 		netstack.ContentMap{"/": []byte("up")}); err != nil {
@@ -87,6 +97,21 @@ func run(cmds []string) error {
 			"trace": func(string) string { return tracer.Dump() },
 			"histo": func(string) string { return tracer.DumpHisto() },
 			"sched": func(string) string { return target.Sched.Report() },
+			"dns": func(string) string {
+				st := target.DNS.Stats()
+				return fmt.Sprintf("authoritative zone %v\nqueries %d answered %d nxdomain %d nodata %d malformed %d",
+					target.Zone.Names(), st.Queries, st.Answered, st.NXDomain, st.NoData, st.Malformed)
+			},
+			"resolve": func(arg string) string {
+				name := strings.TrimSpace(arg)
+				if name == "" {
+					return "usage: resolve <name>"
+				}
+				if addrs, _, ok := target.Zone.LookupA(name); ok {
+					return fmt.Sprintf("%s -> %v (authoritative)", name, addrs)
+				}
+				return fmt.Sprintf("%s: NXDOMAIN", name)
+			},
 		},
 	}); err != nil {
 		return err
@@ -115,11 +140,32 @@ func run(cmds []string) error {
 		}
 	}
 
-	fmt.Printf("attached to %s (%v) over the wire\n\n", target.Name, target.Stack.IP)
+	// Attach by name: resolve dbg.spin.test through the workstation's stub
+	// resolver (a real DNS round trip over the topology) and query the
+	// address it returns.
+	var dbgAddr netstack.IPAddr
+	var resolveErr error
+	resolved := false
+	workstation.Resolver.LookupA("dbg.spin.test", func(addrs []netstack.IPAddr, err error) {
+		if err == nil && len(addrs) > 0 {
+			dbgAddr = addrs[0]
+		} else if err != nil {
+			resolveErr = err
+		}
+		resolved = true
+	})
+	if !in.RunUntil(func() bool { return resolved }, 0) {
+		return fmt.Errorf("DNS lookup for dbg.spin.test hung")
+	}
+	if resolveErr != nil {
+		return fmt.Errorf("resolve dbg.spin.test: %w", resolveErr)
+	}
+
+	fmt.Printf("attached to %s (dbg.spin.test -> %v) over the wire\n\n", target.Name, dbgAddr)
 	for _, cmd := range cmds {
 		var reply string
 		got := false
-		if err := netdbg.Query(workstation.Stack, target.Stack.IP, netdbg.DefaultPort, cmd,
+		if err := netdbg.Query(workstation.Stack, dbgAddr, netdbg.DefaultPort, cmd,
 			func(s string) { reply = s; got = true }); err != nil {
 			return err
 		}

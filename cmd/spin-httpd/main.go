@@ -1,7 +1,9 @@
-// Command spin-httpd boots a two-machine simulation — a SPIN kernel running
-// the in-kernel HTTP server extension over the hybrid web cache, and a
-// client machine — then replays a stream of requests and prints a
-// transcript with per-transaction virtual-time latency and cache behaviour.
+// Command spin-httpd boots a three-machine routed topology — a SPIN kernel
+// running the in-kernel HTTP server extension over the hybrid web cache, a
+// client machine, and a DNS authority publishing the server as
+// "web.spin.test" — then replays a stream of requests and prints a
+// transcript with per-transaction virtual-time latency and cache
+// behaviour, finishing with an unmodified net/http fetch by hostname.
 //
 // It is the runnable version of the paper's §5.4 web-server experiment
 // ("Additional information about the SPIN project is available at
@@ -12,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -20,10 +24,10 @@ import (
 	"spin/internal/fs"
 	"spin/internal/netdbg"
 	"spin/internal/netstack"
-	"spin/internal/sal"
 	"spin/internal/sim"
 	"spin/internal/strand"
 	"spin/internal/trace"
+	"spin/internal/vnet"
 )
 
 // debugContent layers the kernel's introspection endpoints over the
@@ -63,20 +67,29 @@ func main() {
 }
 
 func run(requests int) error {
-	// Two virtual CPUs on the server, so /debug/sched reports real per-CPU
-	// queues, steals and migrations.
-	server, err := spin.NewMachine("www-spin", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2})
+	// A routed star: the web server (two virtual CPUs, so /debug/sched
+	// reports real per-CPU queues, steals and migrations), the browser,
+	// and a nameserver machine publishing "web.spin.test".
+	edge := vnet.LinkModel{Latency: 100 * sim.Microsecond}
+	in, err := vnet.NewBuilder(1).
+		MachineCfg("www-spin", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2}).
+		Machine("browser", netstack.Addr(10, 0, 0, 1)).
+		Machine("ns", netstack.Addr(10, 0, 0, 3)).
+		Switch("s0").
+		Link("www-spin", "s0", edge).
+		Link("browser", "s0", edge).
+		Link("ns", "s0", edge).
+		Build()
 	if err != nil {
 		return err
 	}
-	client, err := spin.NewMachine("browser", spin.Config{IP: netstack.Addr(10, 0, 0, 1)})
-	if err != nil {
+	if err := in.EnableDNS("ns"); err != nil {
 		return err
 	}
-	if err := sal.Connect(server.AddNIC(sal.LanceModel), client.AddNIC(sal.LanceModel)); err != nil {
+	if err := in.AddName("web", "www-spin"); err != nil {
 		return err
 	}
-	cluster := sim.NewCluster(server.Engine, client.Engine)
+	server, client := in.Machine("www-spin"), in.Machine("browser")
 
 	// Publish documents: small pages (cached, LRU) and a large archive
 	// (no-cache policy, non-caching read path).
@@ -127,7 +140,7 @@ func run(requests int) error {
 			if err != nil {
 				return err
 			}
-			if !cluster.RunUntil(func() bool { return done }, 0) {
+			if !in.RunUntil(func() bool { return done }, 0) {
 				return fmt.Errorf("request for %s never completed", path)
 			}
 			latency := client.Clock.Now().Sub(start)
@@ -158,7 +171,7 @@ func run(requests int) error {
 		}); err != nil {
 		return err
 	}
-	if !cluster.RunUntil(func() bool { return got }, 0) {
+	if !in.RunUntil(func() bool { return got }, 0) {
 		return fmt.Errorf("/debug/histo request never completed")
 	}
 	fmt.Printf("\nGET /debug/histo (also available: /debug/trace, /debug/faults):\n%s", histo)
@@ -173,9 +186,34 @@ func run(requests int) error {
 		}); err != nil {
 		return err
 	}
-	if !cluster.RunUntil(func() bool { return got }, 0) {
+	if !in.RunUntil(func() bool { return got }, 0) {
 		return fmt.Errorf("/debug/sched request never completed")
 	}
 	fmt.Printf("\nGET /debug/sched:\n%s", schedRep)
+
+	// Finally, the same page fetched the way any Go program would: an
+	// unmodified net/http client whose transport dials through the
+	// simulation — resolve web.spin.test at the ns machine, handshake,
+	// request. From here on the vnet driver owns the cluster.
+	dialer, err := in.Dialer("browser")
+	if err != nil {
+		return err
+	}
+	httpc := &http.Client{Transport: &http.Transport{
+		DialContext:       dialer.DialContext,
+		DisableKeepAlives: true,
+	}}
+	resp, err := httpc.Get("http://web.spin.test/index.html")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	rst := client.Resolver.Stats()
+	fmt.Printf("\nnet/http GET http://web.spin.test/index.html: %s, %d bytes (DNS: %d query, %d sent)\n",
+		resp.Status, len(body), rst.Lookups, rst.Sent)
 	return nil
 }

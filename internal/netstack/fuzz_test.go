@@ -32,6 +32,59 @@ func FuzzParsePacket(f *testing.F) {
 	})
 }
 
+// FuzzParseDNSMessage throws arbitrary bytes at the DNS decoder — like
+// the packet decoder it is an untrusted-input boundary. Any input may be
+// rejected, but none may panic (compression pointers are the classic
+// attack surface: loops, forward jumps, out-of-bounds targets); an
+// accepted message must survive an encode/parse round trip unchanged,
+// because the parse is canonical (names lower-cased and flattened).
+func FuzzParseDNSMessage(f *testing.F) {
+	seeds := []*DNSMessage{
+		{ID: 1, RD: true, Questions: []DNSQuestion{{Name: "web.spin.test", Type: DNSTypeA}}},
+		{ID: 2, Response: true, RA: true,
+			Questions: []DNSQuestion{{Name: "web.spin.test", Type: DNSTypeA}},
+			Answers:   []DNSRR{{Name: "web.spin.test", Type: DNSTypeA, TTL: 60, Data: []byte{10, 0, 0, 2}}}},
+		{ID: 3, Response: true, RCode: DNSRCodeNXDomain,
+			Questions: []DNSQuestion{{Name: "nope.spin.test", Type: DNSTypeA}}},
+		{ID: 4, Questions: []DNSQuestion{{Name: "v6.spin.test", Type: DNSTypeAAAA}}},
+	}
+	for _, m := range seeds {
+		wire, err := EncodeDNSMessage(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	// A compressed answer (pointer to the question name) and hostile
+	// pointer shapes.
+	f.Add([]byte{
+		0x12, 0x34, 0x84, 0x80, 0, 1, 0, 1, 0, 0, 0, 0,
+		3, 'w', 'e', 'b', 4, 's', 'p', 'i', 'n', 0, 0, 1, 0, 1,
+		0xC0, 12, 0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 10, 0, 0, 2,
+	})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12, 0, 1, 0, 1})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, dnsHeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseDNSMessage(data)
+		if err != nil {
+			return
+		}
+		wire, err := EncodeDNSMessage(m)
+		if err != nil {
+			t.Fatalf("re-encode of parsed message failed: %v\nmessage: %+v", err, m)
+		}
+		round, err := ParseDNSMessage(wire)
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded message failed: %v\nmessage: %+v", err, m)
+		}
+		second, err := EncodeDNSMessage(round)
+		if err != nil || !bytes.Equal(wire, second) {
+			t.Fatalf("round trip not canonical (%v):\n  %x\n  %x", err, wire, second)
+		}
+	})
+}
+
 // FuzzFragmentReassembly drives the reassembly buffer with an arbitrary
 // fragment stream decoded from the fuzz input: any offsets, lengths,
 // more-fragments flags, sources and IDs, including the hostile shapes the

@@ -42,8 +42,32 @@ const DefaultMSS = 1460
 // rcvWindow is the fixed receive window advertised (bytes).
 const rcvWindow = 32 * 1024
 
-// retxTimeout is the (fixed) retransmission timeout.
+// retxTimeout is the base retransmission timeout; each unacknowledged
+// retransmission doubles it (exponential backoff) up to retxBackoffCap
+// doublings.
 const retxTimeout = 200 * sim.Millisecond
+
+// retxBackoffCap bounds the exponential backoff at retxTimeout << cap
+// (6.4 s), so a long outage retries at a steady cadence instead of hours
+// apart.
+const retxBackoffCap = 5
+
+// DefaultMaxRetx is the default retransmission cap: after this many
+// unacknowledged retransmissions of the same data (or SYN) the connection
+// is torn down with ErrTimedOut. With exponential backoff from retxTimeout
+// the whole attempt is bounded at ~19 s of virtual time.
+const DefaultMaxRetx = 6
+
+// Errors surfaced by connections that fail rather than hang.
+var (
+	// ErrTimedOut reports that the retransmission cap was exhausted: the
+	// peer (or the path to it) stayed silent through every backoff.
+	ErrTimedOut = errors.New("netstack: connection timed out")
+	// ErrClosed reports an operation on a closed connection — including a
+	// Close in SYN_SENT that discards data queued before the handshake
+	// completed.
+	ErrClosed = errors.New("netstack: connection closed")
+)
 
 // timeWaitDelay is the TIME_WAIT linger before the connection is reaped.
 const timeWaitDelay = 500 * sim.Millisecond
@@ -133,10 +157,18 @@ type synShard struct {
 // Conn is one TCP connection endpoint.
 type Conn struct {
 	tcp        *TCP
-	state      TCPState
 	remote     IPAddr
 	localPort  uint16
 	remotePort uint16
+
+	// state, the retransmission counters and the terminal error are
+	// atomics: the state machine mutates them from the simulation
+	// goroutine while observers (tests, debuggers, the socket adapters'
+	// torture monitors) read them from anywhere.
+	state         atomic.Int32
+	retransmits   atomic.Int64
+	zeroWndProbes atomic.Int64
+	connErr       atomic.Pointer[error]
 
 	mss int
 
@@ -148,8 +180,10 @@ type Conn struct {
 	ssthresh       int // slow-start threshold, segments
 	sndWnd         int // peer's advertised window, bytes
 	retxEv         *sim.Event
-	retransmits    int64
-	zeroWndProbes  int64
+	// retxAttempts counts consecutive unacknowledged retransmissions of
+	// the oldest outstanding data (or SYN); any forward ACK progress
+	// resets it. It selects the backoff and enforces the MaxRetx cap.
+	retxAttempts int
 
 	// Receive side.
 	rcvNxt uint32
@@ -179,18 +213,39 @@ type segment struct {
 	fin  bool
 }
 
-// State reports the connection state.
-func (c *Conn) State() TCPState { return c.state }
+// State reports the connection state. Safe to call from any goroutine.
+func (c *Conn) State() TCPState { return TCPState(c.state.Load()) }
+
+func (c *Conn) setState(s TCPState) { c.state.Store(int32(s)) }
 
 // Remote reports the peer address/port.
 func (c *Conn) Remote() (IPAddr, uint16) { return c.remote, c.remotePort }
 
-// Retransmits reports how many segments were retransmitted.
-func (c *Conn) Retransmits() int64 { return c.retransmits }
+// LocalPort reports the local port of the connection's 4-tuple.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// Retransmits reports how many segments were retransmitted. Safe to call
+// from any goroutine.
+func (c *Conn) Retransmits() int64 { return c.retransmits.Load() }
 
 // ZeroWindowProbes reports how many persist probes were sent against a
-// peer's zero-window advertisement.
-func (c *Conn) ZeroWindowProbes() int64 { return c.zeroWndProbes }
+// peer's zero-window advertisement. Safe to call from any goroutine.
+func (c *Conn) ZeroWindowProbes() int64 { return c.zeroWndProbes.Load() }
+
+// Err reports why the connection failed: ErrTimedOut after retransmission
+// exhaustion, ErrClosed (wrapped) when a close discarded queued data, nil
+// for connections that closed cleanly or are still alive.
+func (c *Conn) Err() error {
+	if p := c.connErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setErr records the connection's terminal error; the first one wins.
+func (c *Conn) setErr(err error) {
+	c.connErr.CompareAndSwap(nil, &err)
+}
 
 // Listener accepts inbound connections on a port.
 type Listener struct {
@@ -222,9 +277,14 @@ type TCP struct {
 	shards []connShard
 	syn    []synShard
 
+	// maxRetx is the per-connection retransmission cap (DefaultMaxRetx
+	// unless overridden with SetMaxRetx before connections exist).
+	maxRetx int
+
 	accepted        atomic.Int64
 	resets          atomic.Int64
 	halfOpenEvicted atomic.Int64
+	timedOut        atomic.Int64
 }
 
 func newTCP(s *Stack) *TCP {
@@ -233,6 +293,7 @@ func newTCP(s *Stack) *TCP {
 		nextPort: 30000,
 		shards:   make([]connShard, tcpShards),
 		syn:      make([]synShard, synShards),
+		maxRetx:  DefaultMaxRetx,
 	}
 	for i := range t.syn {
 		t.syn[i].m = make(map[connKey]synEntry)
@@ -437,12 +498,13 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 		return nil, fmt.Errorf("netstack: no free local port for %v:%d: %w", dst, port, ErrPortsExhausted)
 	}
 	c := &Conn{
-		tcp: t, state: StateSynSent,
+		tcp:    t,
 		remote: dst, localPort: local, remotePort: port,
 		mss: DefaultMSS, cwnd: 1, ssthresh: 16, sndWnd: rcvWindow,
 		delivery: cost,
 		sndUna:   100, sndNxt: 100,
 	}
+	c.setState(StateSynSent)
 	t.insertConn(key, c)
 	t.mu.Unlock()
 	c.sendSeg(c.seg(FlagSYN, c.sndNxt, 0, nil))
@@ -453,11 +515,15 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 
 // Send queues payload for transmission.
 func (c *Conn) Send(payload []byte) error {
-	if c.closed || c.state != StateEstablished && c.state != StateCloseWait {
-		if c.state == StateSynSent {
+	st := c.State()
+	if c.closed || st != StateEstablished && st != StateCloseWait {
+		if !c.closed && st == StateSynSent {
 			// Queue until established.
 			c.sendBuf = append(c.sendBuf, payload...)
 			return nil
+		}
+		if c.closed || st == StateClosed {
+			return fmt.Errorf("netstack: send: %w", ErrClosed)
 		}
 		return errors.New("netstack: send on non-established connection")
 	}
@@ -466,22 +532,33 @@ func (c *Conn) Send(payload []byte) error {
 	return nil
 }
 
-// Close begins an orderly shutdown.
-func (c *Conn) Close() {
+// Close begins an orderly shutdown. A close before the handshake completed
+// aborts the connection; if data was queued behind the SYN (Send in
+// SYN_SENT) it is discarded and the loss is reported as an error wrapping
+// ErrClosed — the bytes were never acknowledged, or even sent.
+func (c *Conn) Close() error {
 	if c.closed {
-		return
+		return nil
 	}
 	c.closed = true
-	switch c.state {
+	switch c.State() {
 	case StateEstablished:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1)
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck)
 	default:
-		c.teardown()
-		return
+		var err error
+		if c.State() == StateSynSent && len(c.sendBuf) > 0 {
+			err = fmt.Errorf("%w: %d queued bytes discarded before handshake completed",
+				ErrClosed, len(c.sendBuf))
+			c.sendBuf = nil
+			c.setErr(err)
+		}
+		c.teardown() // cancels any armed retransmit timer
+		return err
 	}
 	c.queueFIN()
+	return nil
 }
 
 func (c *Conn) queueFIN() {
@@ -504,8 +581,9 @@ func (c *Conn) sendFIN() {
 // pump sends as much buffered data as the congestion and peer windows
 // allow.
 func (c *Conn) pump() {
-	if c.state != StateEstablished && c.state != StateCloseWait &&
-		c.state != StateFinWait1 && c.state != StateLastAck {
+	st := c.State()
+	if st != StateEstablished && st != StateCloseWait &&
+		st != StateFinWait1 && st != StateLastAck {
 		return
 	}
 	for len(c.sendBuf) > 0 {
@@ -541,7 +619,7 @@ func (c *Conn) pump() {
 		c.sndNxt += uint32(n)
 		c.armRetx()
 	}
-	if (c.state == StateFinWait1 || c.state == StateLastAck) && len(c.sendBuf) == 0 && !c.finInflight() {
+	if st := c.State(); (st == StateFinWait1 || st == StateLastAck) && len(c.sendBuf) == 0 && !c.finInflight() {
 		c.sendFIN()
 	}
 }
@@ -578,11 +656,22 @@ func (c *Conn) sendSeg(p *Packet) {
 	_ = c.tcp.stack.SendIP(p)
 }
 
+// rto is the current retransmission timeout: the base doubled per
+// consecutive unacknowledged retransmission, capped at retxBackoffCap
+// doublings.
+func (c *Conn) rto() sim.Duration {
+	shift := c.retxAttempts
+	if shift > retxBackoffCap {
+		shift = retxBackoffCap
+	}
+	return retxTimeout << shift
+}
+
 func (c *Conn) armRetx() {
 	if c.retxEv != nil && !c.retxEv.Cancelled() {
 		return
 	}
-	c.retxEv = c.tcp.stack.engine.After(retxTimeout, c.onRetxTimeout)
+	c.retxEv = c.tcp.stack.engine.After(c.rto(), c.onRetxTimeout)
 }
 
 func (c *Conn) cancelRetx() {
@@ -600,17 +689,39 @@ func (c *Conn) lossBackoff() {
 		c.ssthresh = 1
 	}
 	c.cwnd = 1
-	c.retransmits++
+	c.retransmits.Add(1)
+}
+
+// retxExhausted enforces the retransmission cap: past tcp.maxRetx
+// consecutive unacknowledged retransmissions the connection fails with
+// ErrTimedOut — teardown fires OnClose and removes it from the shard
+// table. Reports true when the caller must stop retransmitting.
+func (c *Conn) retxExhausted() bool {
+	if c.retxAttempts < c.tcp.maxRetx {
+		return false
+	}
+	c.tcp.timedOut.Add(1)
+	c.setErr(ErrTimedOut)
+	c.teardown()
+	return true
 }
 
 func (c *Conn) onRetxTimeout() {
 	c.retxEv = nil
 	switch {
-	case c.state == StateSynSent:
+	case c.State() == StateSynSent:
+		if c.retxExhausted() {
+			return
+		}
+		c.retxAttempts++
 		c.lossBackoff()
 		c.sendSeg(c.seg(FlagSYN, c.sndUna, 0, nil))
 		c.armRetx()
 	case len(c.inflight) > 0:
+		if c.retxExhausted() {
+			return
+		}
+		c.retxAttempts++
 		c.lossBackoff()
 		s := c.inflight[0]
 		flags := FlagACK
@@ -619,11 +730,13 @@ func (c *Conn) onRetxTimeout() {
 		}
 		c.sendSeg(c.seg(flags, s.seq, c.rcvNxt, s.data))
 		c.armRetx()
-	case c.sndWnd == 0 && len(c.sendBuf) > 0 && c.state != StateClosed:
+	case c.sndWnd == 0 && len(c.sendBuf) > 0 && c.State() != StateClosed:
 		// Zero-window persist (RFC 1122 §4.2.2.17): the peer advertised
 		// window 0 and will send nothing further on its own; probe with a
 		// single byte to elicit an ACK carrying the reopened window.
-		c.zeroWndProbes++
+		// Probes are deliberately uncapped — the peer is alive and ACKing,
+		// just full — so they never trip the MaxRetx teardown.
+		c.zeroWndProbes.Add(1)
 		data := append([]byte(nil), c.sendBuf[:1]...)
 		c.sendBuf = c.sendBuf[1:]
 		c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, data))
@@ -771,7 +884,7 @@ func (t *TCP) completeHandshake(key connKey, e synEntry, pkt *Packet) {
 		return
 	}
 	c := &Conn{
-		tcp: t, state: StateEstablished,
+		tcp:    t,
 		remote: pkt.Src, localPort: pkt.DstPort, remotePort: pkt.SrcPort,
 		mss: DefaultMSS, cwnd: 1, ssthresh: 16,
 		sndWnd:   e.wnd,
@@ -780,6 +893,7 @@ func (t *TCP) completeHandshake(key connKey, e synEntry, pkt *Packet) {
 		rcvNxt:   e.rcvNxt,
 		acceptCb: l.accept,
 	}
+	c.setState(StateEstablished)
 	if !t.insertConn(key, c) {
 		// A concurrent delivery of the same final ACK materialized the
 		// connection first; hand the segment to the winner.
@@ -838,11 +952,12 @@ func (c *Conn) handle(pkt *Packet) {
 	// zero window pauses pump(), and the persist probe in onRetxTimeout
 	// keeps testing for it to reopen.
 	c.sndWnd = pkt.Window
-	if c.state == StateSynSent {
+	if c.State() == StateSynSent {
 		if pkt.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && pkt.Ack == c.sndNxt {
 			c.sndUna = pkt.Ack
 			c.rcvNxt = pkt.Seq + 1
-			c.state = StateEstablished
+			c.setState(StateEstablished)
+			c.retxAttempts = 0
 			c.cancelRetx()
 			c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, nil))
 			if c.OnConnect != nil {
@@ -869,6 +984,9 @@ func (c *Conn) onAck(ack uint32) {
 		return // duplicate/old
 	}
 	c.sndUna = ack
+	// Forward progress: the peer is alive, so the retransmission backoff
+	// and cap restart from scratch for whatever is still outstanding.
+	c.retxAttempts = 0
 	// Drop fully acknowledged segments.
 	keep := c.inflight[:0]
 	finAcked := false
@@ -897,9 +1015,9 @@ func (c *Conn) onAck(ack uint32) {
 		c.cancelRetx()
 	}
 	if finAcked {
-		switch c.state {
+		switch c.State() {
 		case StateFinWait1:
-			c.state = StateFinWait2
+			c.setState(StateFinWait2)
 		case StateLastAck:
 			c.teardown()
 			return
@@ -925,18 +1043,18 @@ func (c *Conn) onFIN(pkt *Packet) {
 	c.rcvNxt = pkt.Seq + uint32(len(pkt.Payload)) + 1
 	c.peerClosed = true
 	c.sendSeg(c.seg(FlagACK, c.sndNxt, c.rcvNxt, nil))
-	switch c.state {
+	switch c.State() {
 	case StateEstablished:
-		c.state = StateCloseWait
+		c.setState(StateCloseWait)
 	case StateFinWait1:
 		// Simultaneous close; treat as FIN_WAIT_2 -> TIME_WAIT.
-		c.state = StateTimeWait
+		c.setState(StateTimeWait)
 		c.startTimeWait()
 	case StateFinWait2:
-		c.state = StateTimeWait
+		c.setState(StateTimeWait)
 		c.startTimeWait()
 	}
-	if c.OnClose != nil && c.state == StateCloseWait {
+	if c.OnClose != nil && c.State() == StateCloseWait {
 		c.OnClose(c)
 	}
 }
@@ -949,16 +1067,25 @@ func (c *Conn) startTimeWait() {
 
 // teardown removes the connection from its shard.
 func (c *Conn) teardown() {
-	if c.state == StateClosed {
+	if c.State() == StateClosed {
 		return
 	}
 	c.cancelRetx()
-	prev := c.state
-	c.state = StateClosed
+	prev := c.State()
+	c.setState(StateClosed)
 	c.tcp.removeConn(tcpKey(c.remote, c.remotePort, c.localPort))
 	if c.OnClose != nil && prev != StateCloseWait {
 		c.OnClose(c)
 	}
+}
+
+// SetMaxRetx overrides the retransmission cap for connections created
+// after the call (tests shorten it; 0 or negative restores the default).
+func (t *TCP) SetMaxRetx(n int) {
+	if n <= 0 {
+		n = DefaultMaxRetx
+	}
+	t.maxRetx = n
 }
 
 // Conns reports the number of live connections: the sum of the per-shard
@@ -978,6 +1105,7 @@ type TCPStats struct {
 	HalfOpenEvicted int64 // half-open entries dropped by the bounded table
 	Accepted        int64 // server-side connections materialized by a final ACK
 	Resets          int64 // RSTs sent for unexpected segments
+	TimedOut        int64 // connections torn down by the retransmission cap
 }
 
 // Stats snapshots the module counters.
@@ -987,6 +1115,7 @@ func (t *TCP) Stats() TCPStats {
 		HalfOpenEvicted: t.halfOpenEvicted.Load(),
 		Accepted:        t.accepted.Load(),
 		Resets:          t.resets.Load(),
+		TimedOut:        t.timedOut.Load(),
 	}
 	for i := range t.syn {
 		sh := &t.syn[i]

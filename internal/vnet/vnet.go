@@ -48,6 +48,11 @@ type Internet struct {
 
 	inj *faultinject.Injector
 	tr  *trace.Tracer
+
+	// Naming & sockets (named.go): the topology-wide DNS authority and the
+	// blocking-adapter driver over the cluster.
+	dnsServer string
+	driver    *netstack.Driver
 }
 
 // Seed returns the seed the topology's link models replay from.

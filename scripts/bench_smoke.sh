@@ -14,7 +14,11 @@
 #   - vnet per-hop forwarding (switched-topology link traversal) regressed
 #     more than 2x against the baseline. The 2x allowance absorbs CI
 #     wall-clock noise; the gate catches order-of-magnitude regressions in
-#     the topology hot path.
+#     the topology hot path, or
+#   - DNS resolve or dial-to-established VIRTUAL latency over the reference
+#     3-machine star grew more than 10%. These two are deterministic
+#     virtual-time measurements, so any growth is a real protocol change
+#     (an extra round trip, a spurious retransmit), never host noise.
 #
 # The dispatch and conn-setup numbers are the min over BENCH_COUNT runs:
 # both are short loops dominated by scheduler noise, so min-of-N is the
@@ -66,7 +70,13 @@ vnet_out=$(go test -run '^$' -bench 'VnetHop$' -benchtime=20000x -count="$runs" 
 echo "$vnet_out"
 vnet_hop_ns=$(metric "$vnet_out" BenchmarkVnetHop "vnet-hop-ns" | sort -g | head -1)
 
-for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns"; do
+echo "== naming: resolve + dial virtual latency =="
+name_out=$(go test -run '^$' -bench 'DNSResolve$|DialEstablished$' -benchtime=3x .)
+echo "$name_out"
+dns_resolve_ns=$(metric "$name_out" BenchmarkDNSResolve "dns-resolve-ns")
+dial_established_ns=$(metric "$name_out" BenchmarkDialEstablished "dial-established-ns")
+
+for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns" "$dns_resolve_ns" "$dial_established_ns"; do
   if [ -z "$v" ]; then
     echo "FAIL: could not parse a benchmark metric" >&2
     exit 1
@@ -83,7 +93,9 @@ cat > "$out" <<JSON
   "parallel_steals_4cpu": $steals4,
   "conn_setup_ns": $conn_setup_ns,
   "rx_allocs_per_packet": $rx_allocs,
-  "vnet_hop_ns": $vnet_hop_ns
+  "vnet_hop_ns": $vnet_hop_ns,
+  "dns_resolve_ns": $dns_resolve_ns,
+  "dial_established_ns": $dial_established_ns
 }
 JSON
 echo "wrote $out:"
@@ -131,5 +143,26 @@ awk -v cur="$vnet_hop_ns" -v base="$base_hop" 'BEGIN {
   limit = base * 2.0
   printf "vnet per-hop forwarding: %s ns/hop (baseline %s, limit %.2f)\n", cur, base, limit
   if (cur + 0 > limit) { print "FAIL: vnet per-hop forwarding regressed >2x vs committed baseline"; exit 1 }
+}'
+
+# dns-resolve-ns and dial-established-ns are VIRTUAL time: fully
+# deterministic, so any growth is a real behavioral change (an extra round
+# trip would show up as ~+40%), not CI noise. 10% slack covers deliberate
+# per-packet cost-model tweaks without a baseline bump.
+base_resolve=$(awk -F'[:,]' '/"dns_resolve_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+base_dial=$(awk -F'[:,]' '/"dial_established_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_resolve" ] || [ -z "$base_dial" ]; then
+  echo "FAIL: no dns_resolve_ns / dial_established_ns in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$dns_resolve_ns" -v base="$base_resolve" 'BEGIN {
+  limit = base * 1.10
+  printf "dns resolve: %s virtual ns (baseline %s, limit %.0f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: DNS resolve virtual latency regressed >10% vs committed baseline"; exit 1 }
+}'
+awk -v cur="$dial_established_ns" -v base="$base_dial" 'BEGIN {
+  limit = base * 1.10
+  printf "dial to established: %s virtual ns (baseline %s, limit %.0f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: dial-to-established virtual latency regressed >10% vs committed baseline"; exit 1 }
 }'
 echo "bench smoke OK"

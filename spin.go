@@ -75,6 +75,12 @@ type Machine struct {
 	Stack *netstack.Stack
 	FS    *fs.FileSystem
 
+	// Network naming: the machine's authoritative zone + DNS server (set
+	// by ServeDNS) and its stub resolver (set by UseResolver).
+	Zone     *netstack.Zone
+	DNS      *netstack.DNSServer
+	Resolver *netstack.Resolver
+
 	// Extern is the externalized-reference table for user applications.
 	Extern *capability.Table
 
@@ -256,6 +262,56 @@ func (m *Machine) LoadExtension(obj *safe.ObjectFile) (*domain.T, error) {
 
 // Extensions reports how many extensions have been loaded.
 func (m *Machine) Extensions() int { return m.extCount }
+
+// DNSAuthorityName is the nameserver entry a ServeDNS zone is exported
+// under.
+const DNSAuthorityName = "DNSAuthority"
+
+// ServeDNS makes the machine an authoritative DNS server for zone,
+// following the paper's naming discipline (§4): the zone's lookup
+// interface is exported as a domain through the in-kernel nameserver, and
+// the UDP server answers from the interface it imports back — the network
+// nameserver is an extension found by name, not a special case. The zone
+// stays live: AddA/Remove after boot change subsequent answers.
+func (m *Machine) ServeDNS(zone *netstack.Zone) error {
+	if m.DNS != nil {
+		return fmt.Errorf("spin: %s: DNS server already serving", m.Name)
+	}
+	if zone == nil {
+		zone = netstack.NewZone()
+	}
+	dom, err := domain.CreateFromModule(DNSAuthorityName, func(o *safe.ObjectFile) {
+		o.Export("DNS.LookupA", zone.LookupA)
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.Namespace.Export(DNSAuthorityName, dom, nil); err != nil {
+		return err
+	}
+	sym, ok := dom.LookupExport("DNS.LookupA")
+	if !ok {
+		return fmt.Errorf("spin: %s: DNS.LookupA not exported", m.Name)
+	}
+	lookup, ok := sym.Value.Interface().(func(string) ([]netstack.IPAddr, sim.Duration, bool))
+	if !ok {
+		return fmt.Errorf("spin: %s: DNS.LookupA has wrong type %T", m.Name, sym.Value.Interface())
+	}
+	srv, err := netstack.NewDNSServerOwned(DNSAuthorityName, m.Stack, nil, lookup)
+	if err != nil {
+		m.Namespace.Unexport(DNSAuthorityName)
+		return err
+	}
+	m.Zone, m.DNS = zone, srv
+	return nil
+}
+
+// UseResolver configures the machine's stub resolver (cfg.Servers is the
+// essential field); it replaces any previous resolver.
+func (m *Machine) UseResolver(cfg netstack.ResolverConfig) *netstack.Resolver {
+	m.Resolver = netstack.NewResolver(m.Stack, cfg)
+	return m.Resolver
+}
 
 // AddNIC attaches a network interface of the given model and plumbs it into
 // the protocol stack. A machine may carry several NICs of the same model
