@@ -2,8 +2,8 @@ package spin
 
 // Chaos torture suite: the deterministic fault-injection harness
 // (internal/faultinject) drives failures through every wired site —
-// dispatcher invocation, netstack RX and reassembly, TCP delivery, the VM
-// pager and strand entry — on booted machines. The kernel must survive
+// dispatcher invocation, netstack RX and reassembly, TCP delivery, TCP
+// connect, the VM pager and strand entry — on booted machines. The kernel must survive
 // every injected fault, count each exactly once, quarantine repeat
 // offenders at the configured threshold, and replay the identical run from
 // the same seed.
@@ -54,6 +54,10 @@ type chaosSummary struct {
 	MCPUBodiesRan      int64
 	TCPFired           int64
 	TCPDelivered       int
+	DialFired          int64
+	DialErrors         int
+	DialLateConnects   int
+	DialRetransmits    int64
 	TotalInjected      int64
 }
 
@@ -448,6 +452,74 @@ func chaosTCP(t *testing.T, seed uint64, sum *chaosSummary) {
 	sum.TotalInjected += inj.Fired()
 }
 
+// chaosDial injects faults at the client's "net.dial" connect site, both
+// ways it can fire: KindError fails the dial synchronously before any
+// connection state exists, and KindDrop loses the initial SYN so the
+// handshake only completes late, through SYN retransmission.
+func chaosDial(t *testing.T, seed uint64, sum *chaosSummary) {
+	t.Helper()
+	srv, err := NewMachine("chaos-dial-srv", Config{IP: netstack.Addr(10, 9, 0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewMachine("chaos-dial-cli", Config{IP: netstack.Addr(10, 9, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sal.Connect(srv.AddNIC(sal.LanceModel), cli.AddNIC(sal.LanceModel)); err != nil {
+		t.Fatal(err)
+	}
+	cluster := sim.NewCluster(srv.Engine, cli.Engine)
+	if err := srv.Stack.TCP().Listen(80, nil, func(*netstack.Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	inj := cli.EnableFaultInjection(seed)
+
+	// Phase 1: injected connect errors surface synchronously.
+	inj.Arm(faultinject.Rule{Site: "net.dial", Kind: faultinject.KindError, MaxFires: 4})
+	for i := 0; i < 4; i++ {
+		if _, err := cli.Stack.TCP().Connect(srv.Stack.IP, 80, nil); err == nil {
+			t.Errorf("dial %d succeeded despite an armed net.dial error rule", i)
+		} else {
+			sum.DialErrors++
+		}
+	}
+	inj.DisarmAll()
+	if got := inj.FiredAt("net.dial"); got != 4 {
+		t.Errorf("net.dial fired %d in the error phase, want the full 4", got)
+	}
+
+	// Phase 2: dropped SYNs. The dial itself succeeds (the conn exists in
+	// SYN_SENT) and the handshake completes late via the retransmission
+	// machinery.
+	inj.Arm(faultinject.Rule{Site: "net.dial", Kind: faultinject.KindDrop, MaxFires: 3})
+	for i := 0; i < 3; i++ {
+		conn, err := cli.Stack.TCP().Connect(srv.Stack.IP, 80, nil)
+		if err != nil {
+			t.Fatalf("drop-phase dial %d: %v", i, err)
+		}
+		established := false
+		conn.OnConnect = func(*netstack.Conn) { established = true }
+		if !cluster.RunUntil(func() bool { return established }, sim.Time(60*sim.Second)) {
+			t.Fatalf("drop-phase dial %d never established (SYN retx broken)", i)
+		}
+		sum.DialLateConnects++
+		sum.DialRetransmits += int64(conn.Retransmits())
+		_ = conn.Close()
+	}
+	cluster.Run(0)
+	// FiredAt is cumulative across both phases: 4 errors + 3 drops.
+	sum.DialFired = inj.FiredAt("net.dial")
+	if sum.DialFired != 7 {
+		t.Errorf("net.dial fired %d across both phases, want the full 7", sum.DialFired)
+	}
+	if sum.DialRetransmits < 3 {
+		t.Errorf("dropped SYNs but only %d retransmissions across 3 dials", sum.DialRetransmits)
+	}
+	inj.DisarmAll()
+	sum.TotalInjected += inj.Fired() - 4 // phase 1's fires already counted
+}
+
 func runChaos(t *testing.T, seed uint64) chaosSummary {
 	var sum chaosSummary
 	chaosDispatch(t, seed, &sum)
@@ -456,6 +528,7 @@ func runChaos(t *testing.T, seed uint64) chaosSummary {
 	chaosStrands(t, seed+3, &sum)
 	chaosStolenStrands(t, seed+5, &sum)
 	chaosTCP(t, seed+4, &sum)
+	chaosDial(t, seed+6, &sum)
 	return sum
 }
 

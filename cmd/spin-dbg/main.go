@@ -13,6 +13,7 @@ import (
 
 	"spin"
 	"spin/internal/domain"
+	"spin/internal/lb"
 	"spin/internal/monitor"
 	"spin/internal/netdbg"
 	"spin/internal/netstack"
@@ -28,7 +29,7 @@ func main() {
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
 			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "sched",
-			"tlb", "mem", "frame 300", "topo", "dns", "uptime"}
+			"lb", "tlb", "mem", "frame 300", "topo", "dns", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)
@@ -50,9 +51,13 @@ func run(cmds []string) error {
 	in, err := vnet.NewBuilder(1).
 		MachineCfg("target-kernel", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2}).
 		Machine("workstation", netstack.Addr(10, 0, 0, 1)).
+		Machine("replica-a", netstack.Addr(10, 0, 0, 4)).
+		Machine("replica-b", netstack.Addr(10, 0, 0, 5)).
 		Switch("s0").
 		Link("target-kernel", "s0", edge).
 		Link("workstation", "s0", edge).
+		Link("replica-a", "s0", edge).
+		Link("replica-b", "s0", edge).
 		Build()
 	if err != nil {
 		return err
@@ -81,6 +86,24 @@ func run(cmds []string) error {
 			return err
 		}
 	}
+	// Two backend replicas behind a health-checked balancer on the target:
+	// the "lb" command reports ring membership, per-backend breakers, probe
+	// counts. One replica is then crash-killed so the report shows a real
+	// ejection (and the "dns" view its withdrawn name).
+	for _, name := range []string{"replica-a", "replica-b"} {
+		if _, err := netstack.NewHTTPServerOwned("httpd-"+name, in.Machine(name).Stack, 80,
+			netstack.InKernelDelivery, netstack.ContentMap{"/": []byte("up")}); err != nil {
+			return err
+		}
+		if err := in.WithdrawOnDestroy(name, "httpd-"+name); err != nil {
+			return err
+		}
+	}
+	bal, err := in.Balancer("target-kernel", lb.Config{}, "replica-a", "replica-b")
+	if err != nil {
+		return err
+	}
+
 	// Kernel-wide tracing feeds the "trace" (dispatch ring) and "histo"
 	// (latency histogram) commands.
 	tracer := target.EnableTracing(256)
@@ -89,6 +112,7 @@ func run(cmds []string) error {
 		Phys:       target.Phys,
 		MMU:        target.MMU,
 		Topo:       in.Describe,
+		LB:         bal.Report,
 		Extra: map[string]func(string) string{
 			"uptime": func(string) string {
 				return fmt.Sprintf("uptime: %v of virtual time", target.Clock.Now().Sub(0))
@@ -129,6 +153,31 @@ func run(cmds []string) error {
 		target.Sched.Start(s)
 	}
 	target.Sched.Run()
+
+	// Start the balancer's health checks only now: the probe timers rearm
+	// forever, so anything that waits for the machine to go fully idle
+	// (Sched.Run above, Driver.Drain) must come first. Two probe rounds
+	// establish both replicas healthy, then replica-b is crash-killed so
+	// the lb report shows a real ejection and the dns view its withdrawn
+	// name.
+	bal.StartHealth()
+	probed := func(min int64) func() bool {
+		return func() bool {
+			for _, be := range bal.Report().Backends {
+				if be.Probes < min {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if !in.RunUntil(probed(2), sim.Time(10*sim.Second)) {
+		return fmt.Errorf("health probes never ran")
+	}
+	in.Machine("replica-b").DestroyDomain(domain.Identity{Name: "httpd-replica-b"})
+	if !in.RunUntil(func() bool { return bal.Ejections() > 0 }, sim.Time(30*sim.Second)) {
+		return fmt.Errorf("killed replica never ejected")
+	}
 
 	// Generate some traffic first.
 	for i := 0; i < 3; i++ {

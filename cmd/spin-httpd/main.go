@@ -21,7 +21,9 @@ import (
 
 	"spin"
 	"spin/internal/dispatch"
+	"spin/internal/domain"
 	"spin/internal/fs"
+	"spin/internal/lb"
 	"spin/internal/netdbg"
 	"spin/internal/netstack"
 	"spin/internal/sim"
@@ -41,6 +43,7 @@ type debugContent struct {
 	tracer *trace.Tracer
 	disp   *dispatch.Dispatcher
 	sched  *strand.Scheduler
+	lb     func() netdbg.LBReport
 }
 
 func (d debugContent) Get(path string) ([]byte, bool) {
@@ -53,6 +56,11 @@ func (d debugContent) Get(path string) ([]byte, bool) {
 		return []byte(netdbg.FaultReport(d.disp)), true
 	case "/debug/sched":
 		return []byte(d.sched.Report()), true
+	case "/debug/lb":
+		if d.lb == nil {
+			return []byte("error: no load balancer attached\n"), true
+		}
+		return []byte(d.lb().String() + "\n"), true
 	}
 	return d.docs.Get(path)
 }
@@ -75,10 +83,12 @@ func run(requests int) error {
 		MachineCfg("www-spin", spin.Config{IP: netstack.Addr(10, 0, 0, 2), CPUs: 2}).
 		Machine("browser", netstack.Addr(10, 0, 0, 1)).
 		Machine("ns", netstack.Addr(10, 0, 0, 3)).
+		Machine("www-spin2", netstack.Addr(10, 0, 0, 4)).
 		Switch("s0").
 		Link("www-spin", "s0", edge).
 		Link("browser", "s0", edge).
 		Link("ns", "s0", edge).
+		Link("www-spin2", "s0", edge).
 		Build()
 	if err != nil {
 		return err
@@ -91,6 +101,19 @@ func run(requests int) error {
 	}
 	server, client := in.Machine("www-spin"), in.Machine("browser")
 
+	// A client-side balancer on the browser spreads requests across both
+	// replicas (dialed by name), with passive outlier detection: dial
+	// failures trip the dead replica's breaker, no active probes needed.
+	// Its report doubles as the /debug/lb page on the primary.
+	bal, err := in.Balancer("browser", lb.Config{}, "www-spin", "www-spin2")
+	if err != nil {
+		return err
+	}
+	rd, err := in.ResilientDialer("browser", bal, lb.RetryPolicy{})
+	if err != nil {
+		return err
+	}
+
 	// Publish documents: small pages (cached, LRU) and a large archive
 	// (no-cache policy, non-caching read path).
 	docs := map[string]int{
@@ -98,16 +121,31 @@ func run(requests int) error {
 		"/papers/sosp.ps": 180_000, // large: never cached
 		"/people.html":    3100,
 	}
+	replica := in.Machine("www-spin2")
 	for path, size := range docs {
 		body := []byte(strings.Repeat("x", size))
 		if err := server.FS.Create(path, body); err != nil {
 			return err
 		}
+		if err := replica.FS.Create(path, body); err != nil {
+			return err
+		}
 	}
 	cache := fs.NewWebCache(server.FS, 256<<10, 64<<10)
 	tracer := server.EnableTracing(1024)
-	if _, err := netstack.NewHTTPServer(server.Stack, 80, netstack.InKernelDelivery,
-		debugContent{docs: cache, tracer: tracer, disp: server.Dispatcher, sched: server.Sched}); err != nil {
+	if _, err := netstack.NewHTTPServerOwned("httpd-www-spin", server.Stack, 80, netstack.InKernelDelivery,
+		debugContent{docs: cache, tracer: tracer, disp: server.Dispatcher, sched: server.Sched,
+			lb: rd.Report}); err != nil {
+		return err
+	}
+	// The replica serves the same tree (its own cache, no debug pages) and
+	// is wired for crash-only teardown: destroying its server domain drops
+	// the listener and withdraws www-spin2.spin.test from the zone.
+	if _, err := netstack.NewHTTPServerOwned("httpd-www-spin2", replica.Stack, 80, netstack.InKernelDelivery,
+		fs.NewWebCache(replica.FS, 256<<10, 64<<10)); err != nil {
+		return err
+	}
+	if err := in.WithdrawOnDestroy("www-spin2", "httpd-www-spin2"); err != nil {
 		return err
 	}
 
@@ -215,5 +253,59 @@ func run(requests int) error {
 	rst := client.Resolver.Stats()
 	fmt.Printf("\nnet/http GET http://web.spin.test/index.html: %s, %d bytes (DNS: %d query, %d sent)\n",
 		resp.Status, len(body), rst.Lookups, rst.Sent)
+
+	// Failover: the same net/http client, now dialing through the
+	// resilient dialer — the ring spreads requests across both replicas.
+	// Mid-stream the replica's server domain is crash-killed; its dial
+	// failures trip the breaker (passive outlier detection), the ring
+	// ejects it, and every later request lands on the survivor.
+	lbc := &http.Client{Transport: &http.Transport{
+		DialContext:       rd.DialContext,
+		DisableKeepAlives: true,
+	}}
+	fetch := func() error {
+		resp, err := lbc.Get("http://web.spin.test/index.html")
+		if err != nil {
+			return err
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return err
+	}
+	fmt.Printf("\nload-balanced fetches across [www-spin www-spin2]:\n")
+	for i := 0; i < 4; i++ {
+		if err := fetch(); err != nil {
+			return fmt.Errorf("balanced fetch %d: %w", i, err)
+		}
+	}
+	var killed domain.DestroyReport
+	in.Driver().Run(func() {
+		killed = replica.DestroyDomain(domain.Identity{Name: "httpd-www-spin2"})
+	})
+	fmt.Printf("  crash-killed www-spin2's server domain: reclaimed %v\n", killed.Reclaimed)
+	for i := 0; i < 4; i++ {
+		if err := fetch(); err != nil {
+			return fmt.Errorf("post-kill fetch %d: %w", i, err)
+		}
+	}
+	requestsN, attempts, retries, failovers := rd.Stats()
+	fmt.Printf("  8/8 ok: requests=%d attempts=%d retries=%d failovers=%d ejections=%d\n",
+		requestsN, attempts, retries, failovers, bal.Ejections())
+
+	// The balancer's state is a first-class debug page, same report the
+	// spin-dbg "lb" command renders.
+	var lbPage []byte
+	got = false
+	if err := netstack.HTTPGet(client.Stack, server.Stack.IP, 80, "/debug/lb",
+		netstack.InKernelDelivery, func(_ string, body []byte) {
+			lbPage = body
+			got = true
+		}); err != nil {
+		return err
+	}
+	if !in.RunUntil(func() bool { return got }, 0) {
+		return fmt.Errorf("/debug/lb request never completed")
+	}
+	fmt.Printf("\nGET /debug/lb:\n%s", lbPage)
 	return nil
 }

@@ -31,6 +31,9 @@ type Target struct {
 	// topology this kernel is part of (nodes, links, state) — e.g. a vnet
 	// Internet's Describe.
 	Topo func() string
+	// LB, when set, enables the "lb" command: a snapshot of this kernel's
+	// load-balancer state (ring membership, breaker states, retry budget).
+	LB func() LBReport
 	// Extra registers additional commands: name -> handler(arg) -> reply.
 	Extra map[string]func(arg string) string
 }
@@ -84,6 +87,8 @@ func (d *Debugger) execute(line string) string {
 		return d.net()
 	case "topo":
 		return d.topo()
+	case "lb":
+		return d.lb()
 	default:
 		if d.target.Extra != nil {
 			if h, ok := d.target.Extra[cmd]; ok {
@@ -95,7 +100,7 @@ func (d *Debugger) execute(line string) string {
 }
 
 func (d *Debugger) help() string {
-	cmds := []string{"events", "faults", "frame <n>", "handlers <event>", "help", "mem", "net", "stats <event>", "tlb", "topo"}
+	cmds := []string{"events", "faults", "frame <n>", "handlers <event>", "help", "lb", "mem", "net", "stats <event>", "tlb", "topo"}
 	for c := range d.target.Extra {
 		cmds = append(cmds, c)
 	}
@@ -220,6 +225,61 @@ func (d *Debugger) topo() string {
 		return "error: no topology attached"
 	}
 	return d.target.Topo()
+}
+
+// lb reports the attached load balancer's state.
+func (d *Debugger) lb() string {
+	if d.target.LB == nil {
+		return "error: no load balancer attached"
+	}
+	return d.target.LB().String()
+}
+
+// LBBackend is one backend's health in an LBReport.
+type LBBackend struct {
+	Name          string // ring member name
+	Host          string // DNS name dialed
+	State         string // breaker state: closed / open / half-open
+	Picks         int64
+	Successes     int64
+	Failures      int64
+	Probes        int64
+	ProbeFailures int64
+	Ejections     int64
+}
+
+// LBReport is the load-balancer snapshot shared by the "lb" wire command
+// and spin-httpd's /debug/lb endpoint: ring membership, per-backend
+// breaker states and counters, ejections, and the client's retry-budget
+// spend. internal/lb fills it; this package only renders it, so the
+// debugger does not depend on the balancer (or vice versa).
+type LBReport struct {
+	Members   []string // currently in the ring (healthy)
+	Backends  []LBBackend
+	Ejections int64
+
+	// Client-side dialer counters (zero when only a balancer is attached).
+	Requests     int64
+	Attempts     int64
+	Retries      int64
+	Failovers    int64
+	BudgetTokens float64
+	BudgetSpent  int64
+	BudgetDenied int64
+}
+
+// String renders the report for the wire and the debug endpoint.
+func (r LBReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "lb: ring %d/%d backends [%s], ejections=%d",
+		len(r.Members), len(r.Backends), strings.Join(r.Members, " "), r.Ejections)
+	fmt.Fprintf(&sb, "\nclient: requests=%d attempts=%d retries=%d failovers=%d budget=%.2f spent=%d denied=%d",
+		r.Requests, r.Attempts, r.Retries, r.Failovers, r.BudgetTokens, r.BudgetSpent, r.BudgetDenied)
+	for _, b := range r.Backends {
+		fmt.Fprintf(&sb, "\n  %-12s %-9s picks=%-6d ok=%-6d fail=%-4d probes=%-5d probe-fail=%-4d ejections=%d",
+			b.Name, b.State, b.Picks, b.Successes, b.Failures, b.Probes, b.ProbeFailures, b.Ejections)
+	}
+	return sb.String()
 }
 
 // Query sends one debugger command from a client stack and invokes done

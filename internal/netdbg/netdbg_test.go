@@ -46,6 +46,18 @@ func newRig(t *testing.T) *rig {
 		Dispatcher: sDisp,
 		Phys:       phys,
 		MMU:        mmu,
+		LB: func() LBReport {
+			return LBReport{
+				Members:   []string{"replica-a"},
+				Ejections: 1,
+				Requests:  8,
+				Retries:   2,
+				Backends: []LBBackend{
+					{Name: "replica-a", Host: "replica-a.spin.test", State: "closed", Picks: 5, Successes: 5},
+					{Name: "replica-b", Host: "replica-b.spin.test", State: "open", Failures: 3, Ejections: 1},
+				},
+			}
+		},
 		Extra: map[string]func(string) string{
 			"uptime": func(string) string { return "uptime: " + sEng.Now().Sub(0).String() },
 		},

@@ -3,52 +3,7 @@ package netdbg
 import (
 	"strings"
 	"testing"
-
-	"spin/internal/sim"
-	"spin/internal/vnet"
 )
-
-// TestTopoOverVirtualInternet attaches the debugger to one machine of a
-// routed topology and asks it, over that same topology, what the topology
-// looks like — the "topo" command backed by vnet's Describe.
-func TestTopoOverVirtualInternet(t *testing.T) {
-	edge := vnet.LinkModel{Latency: 50 * sim.Microsecond}
-	in, err := vnet.NewBuilder(31).
-		Machine("target", 0).Machine("workstation", 0).Switch("s0").
-		Link("target", "s0", edge).Link("workstation", "s0", edge).
-		Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	target := in.Machine("target")
-	if _, err := New(target.Stack, DefaultPort, Target{
-		Dispatcher: target.Dispatcher,
-		Topo:       in.Describe,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	query := func(cmd string) string {
-		var reply string
-		done := false
-		if err := Query(in.Machine("workstation").Stack, in.IP("target"), DefaultPort, cmd,
-			func(s string) { reply = s; done = true }); err != nil {
-			t.Fatal(err)
-		}
-		if !in.RunUntil(func() bool { return done }, sim.Time(10*sim.Second)) {
-			t.Fatalf("query %q never answered", cmd)
-		}
-		return reply
-	}
-	topo := query("topo")
-	for _, want := range []string{"target", "workstation", "switch  s0", "target~s0"} {
-		if !strings.Contains(topo, want) {
-			t.Errorf("topo reply missing %q:\n%s", want, topo)
-		}
-	}
-	if !strings.Contains(query("help"), "topo") {
-		t.Error("help does not list topo")
-	}
-}
 
 // TestTopoUnattached: without a Topo source the command degrades to an
 // error reply, like every other nil-field command.
@@ -56,5 +11,29 @@ func TestTopoUnattached(t *testing.T) {
 	r := newRig(t)
 	if got := r.query(t, "topo"); !strings.Contains(got, "error: no topology attached") {
 		t.Errorf("topo without source: %q", got)
+	}
+}
+
+// TestLBCommand: the "lb" command renders the attached balancer snapshot —
+// ring membership, client counters, per-backend breaker lines — and
+// degrades to an error without one.
+func TestLBCommand(t *testing.T) {
+	r := newRig(t)
+	got := r.query(t, "lb")
+	for _, want := range []string{
+		"ring 1/2 backends [replica-a], ejections=1",
+		"requests=8", "retries=2",
+		"replica-a", "closed", "replica-b", "open",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lb reply missing %q:\n%s", want, got)
+		}
+	}
+	bare := &Debugger{}
+	if got := bare.lb(); !strings.Contains(got, "error: no load balancer attached") {
+		t.Errorf("lb without balancer: %q", got)
+	}
+	if !strings.Contains(r.query(t, "help"), "lb") {
+		t.Error("help does not list lb")
 	}
 }

@@ -361,15 +361,17 @@ func (z *Zone) AddA(name string, ttl sim.Duration, addrs ...IPAddr) error {
 	return nil
 }
 
-// Remove withdraws name from the zone.
-func (z *Zone) Remove(name string) {
+// Remove withdraws name from the zone, reporting whether it was present.
+func (z *Zone) Remove(name string) bool {
 	cn, err := canonicalDNSName(name)
 	if err != nil {
-		return
+		return false
 	}
 	z.mu.Lock()
 	defer z.mu.Unlock()
+	_, ok := z.recs[cn]
 	delete(z.recs, cn)
+	return ok
 }
 
 // LookupA reports the A records for a canonical name; ok is false when the
@@ -645,6 +647,26 @@ func (r *Resolver) Stats() ResolverStats { return r.stats }
 func (r *Resolver) FlushCache() {
 	r.pos = make(map[string]dnsPosEntry)
 	r.neg = make(map[string]dnsNegEntry)
+}
+
+// FlushAll is FlushCache under the name the withdrawal plumbing uses.
+func (r *Resolver) FlushAll() { r.FlushCache() }
+
+// Flush drops any cached answer (positive or negative) for one name, so
+// the next lookup goes back to the authority — the hook a zone withdrawal
+// uses to bound staleness at the negative TTL instead of the record's
+// remaining positive TTL. It reports whether anything was cached.
+// Simulation-goroutine context, like every Resolver method.
+func (r *Resolver) Flush(name string) bool {
+	cn, err := canonicalDNSName(name)
+	if err != nil || cn == "" {
+		return false
+	}
+	_, hadPos := r.pos[cn]
+	_, hadNeg := r.neg[cn]
+	delete(r.pos, cn)
+	delete(r.neg, cn)
+	return hadPos || hadNeg
 }
 
 // LookupA resolves name to its A records. cb runs exactly once —

@@ -502,3 +502,50 @@ func TestResolverFlushCache(t *testing.T) {
 		t.Fatalf("flush did not force a network lookup: %+v", st)
 	}
 }
+
+// Flush(name) drops one name, leaving the rest of the cache warm — the
+// targeted invalidation a DNS withdrawal (vnet.RemoveName) uses so the
+// stale window is the negative TTL, not the withdrawn record's remaining
+// positive TTL.
+func TestResolverFlushName(t *testing.T) {
+	a, _, _ := pair(t, sal.LanceModel)
+	ft := &fakeTransport{answers: []IPAddr{Addr(10, 0, 0, 2)}}
+	r := NewResolver(a.stack, ResolverConfig{Servers: []IPAddr{Addr(10, 0, 0, 9)}, Transport: ft})
+	lookup := func(name string) {
+		t.Helper()
+		done := false
+		r.LookupA(name, func(_ []IPAddr, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = true
+		})
+		if !done {
+			t.Fatal("synchronous transport did not complete the lookup")
+		}
+	}
+	lookup("web.spin.test")
+	lookup("api.spin.test")
+	if !r.Flush("WEB.spin.test.") { // canonicalized: case- and dot-insensitive
+		t.Error("Flush of a cached name reported nothing flushed")
+	}
+	if r.Flush("gone.spin.test") {
+		t.Error("Flush of an uncached name reported a flush")
+	}
+	lookup("api.spin.test") // still cached
+	lookup("web.spin.test") // must go back to the network
+	st := r.Stats()
+	if st.Sent != 3 {
+		t.Errorf("Sent = %d, want 3 (web twice, api once)", st.Sent)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1 (api only)", st.CacheHits)
+	}
+	// FlushAll empties both caches: every name re-queries the authority.
+	r.FlushAll()
+	lookup("api.spin.test")
+	lookup("web.spin.test")
+	if st = r.Stats(); st.Sent != 5 {
+		t.Errorf("Sent = %d after FlushAll, want 5", st.Sent)
+	}
+}

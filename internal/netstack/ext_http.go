@@ -36,8 +36,16 @@ type HTTPServer struct {
 
 // NewHTTPServer starts the extension listening on port (normally 80).
 func NewHTTPServer(stack *Stack, port uint16, cost DeliveryCost, content HTTPContent) (*HTTPServer, error) {
+	return NewHTTPServerOwned("", stack, port, cost, content)
+}
+
+// NewHTTPServerOwned is NewHTTPServer with a recorded owning principal, so
+// the listener is withdrawn when the owner's domain is destroyed
+// (DestroyDomain's "net.tcp" reclaimer) — the crash-only kill switch the
+// failover experiments flip on a backend.
+func NewHTTPServerOwned(owner string, stack *Stack, port uint16, cost DeliveryCost, content HTTPContent) (*HTTPServer, error) {
 	h := &HTTPServer{stack: stack, content: content}
-	err := stack.TCP().Listen(port, cost, func(c *Conn) {
+	err := stack.TCP().ListenOwned(owner, port, cost, func(c *Conn) {
 		var reqBuf []byte
 		c.OnData = func(c *Conn, data []byte) {
 			reqBuf = append(reqBuf, data...)

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spin/internal/sim"
@@ -51,6 +52,12 @@ type Driver struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	src  Stepper
+	// pending counts goroutines blocked entering Run. A stepping WaitUntil
+	// yields to them instead of executing more events: an injector is
+	// conceptually an event at the current virtual time, so racing the
+	// clock ahead of it would starve it forever once perpetual timers
+	// (periodic health probes, keepalives) keep the event queue non-empty.
+	pending atomic.Int64
 }
 
 // NewDriver wraps an event source.
@@ -63,7 +70,9 @@ func NewDriver(src Stepper) *Driver {
 // Run injects fn into the simulation: it runs under the driver lock and
 // wakes every blocked operation to re-check what changed.
 func (d *Driver) Run(fn func()) {
+	d.pending.Add(1)
 	d.mu.Lock()
+	d.pending.Add(-1)
 	fn()
 	d.cond.Broadcast()
 	d.mu.Unlock()
@@ -73,14 +82,25 @@ func (d *Driver) Run(fn func()) {
 // simulation as needed. pred runs under the driver lock and may have side
 // effects (consuming buffered data); it is re-evaluated after every step
 // and every Run injection. If the event queue drains with pred still
-// false, the caller parks until another goroutine injects work — exactly a
-// blocking socket's semantics.
+// false — or another goroutine is waiting to inject — the caller parks
+// until the injection lands: exactly a blocking socket's semantics.
+//
+// Fairness vs. determinism: yielding to pending injectors keeps concurrent
+// blocking goroutines (net/http's split read/write loops) live even when
+// periodic timers never let the queue drain. The byte-identical-replay
+// contract is narrower: it holds when blocking calls are issued from one
+// goroutine at a time, so every step interleaving is fixed by virtual time
+// alone.
 func (d *Driver) WaitUntil(pred func() bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
 		if pred() {
 			return
+		}
+		if d.pending.Load() > 0 {
+			d.cond.Wait()
+			continue
 		}
 		if d.src.Step() {
 			d.cond.Broadcast()
@@ -352,6 +372,13 @@ func NewSockets(d *Driver, stack *Stack, resolver *Resolver) *Sockets {
 
 // Driver returns the simulation driver (for Run/Drain from harness code).
 func (s *Sockets) Driver() *Driver { return s.d }
+
+// Stack returns the machine's protocol stack (layered adapters — the
+// load balancer's health prober — need its engine and transports).
+func (s *Sockets) Stack() *Stack { return s.stack }
+
+// Resolver returns the machine's stub resolver (nil if none).
+func (s *Sockets) Resolver() *Resolver { return s.resolver }
 
 // Listen opens a net.Listener on port.
 func (s *Sockets) Listen(port uint16) (net.Listener, error) {

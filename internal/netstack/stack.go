@@ -658,6 +658,23 @@ func (s *Stack) SendIP(pkt *Packet) error {
 	if pkt.TTL == 0 {
 		pkt.TTL = 32
 	}
+	if pkt.Dst == s.IP {
+		// Loopback: a packet addressed to the stack's own IP never touches
+		// a NIC — it re-enters the receive path on the next engine step,
+		// the way a loopback interface short-circuits the driver. Without
+		// this, a service colocated with its own client (the DNS authority
+		// resolving through itself, a balancer probing a local backend)
+		// deadlocks on a query no wire will ever carry.
+		s.clock.Advance(2 * s.profile.ProtoLayer)
+		s.clock.Advance(sim.Duration(len(pkt.Payload)) * ChecksumPerByte)
+		s.sent.Add(1)
+		s.engine.After(0, func() {
+			s.clock.Advance(s.profile.ContextSwitch)
+			s.safeReceive(s.rxctx(), EvEtherArrived, pkt)
+			pkt.Release()
+		})
+		return nil
+	}
 	nic := s.routeFor(pkt.Dst)
 	if nic == nil {
 		pkt.Release()

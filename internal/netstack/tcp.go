@@ -470,9 +470,19 @@ func (t *TCP) UnlistenOwner(owner string) int {
 
 // Connect opens a connection to dst:port. The returned Conn is in SYN_SENT;
 // OnConnect fires at ESTABLISHED.
+//
+// Fault site "net.dial" fires per connect attempt: KindError fails the
+// dial before any connection state exists (the caller sees the injected
+// error synchronously), KindDrop loses the initial SYN — the handshake
+// then completes late through the retransmission machinery, or times the
+// connection out at the cap.
 func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error) {
 	if cost == nil {
 		cost = InKernelDelivery
+	}
+	dialFault := t.stack.disp.InjectorInstalled().Fire("net.dial")
+	if dialFault.Kind == faultinject.KindError {
+		return nil, fmt.Errorf("netstack: dial %v:%d: %w", dst, port, dialFault.Err)
 	}
 	t.mu.Lock()
 	// A local port only has to be unique per 4-tuple (full demux), so the
@@ -507,7 +517,9 @@ func (t *TCP) Connect(dst IPAddr, port uint16, cost DeliveryCost) (*Conn, error)
 	c.setState(StateSynSent)
 	t.insertConn(key, c)
 	t.mu.Unlock()
-	c.sendSeg(c.seg(FlagSYN, c.sndNxt, 0, nil))
+	if dialFault.Kind != faultinject.KindDrop {
+		c.sendSeg(c.seg(FlagSYN, c.sndNxt, 0, nil))
+	}
 	c.sndNxt++
 	c.armRetx()
 	return c, nil

@@ -43,10 +43,10 @@ func (in *Internet) EnableDNS(server string) error {
 	}
 	for _, name := range in.machineOrder {
 		m := in.machines[name]
-		m.UseResolver(netstack.ResolverConfig{
+		in.resolvers = append(in.resolvers, m.UseResolver(netstack.ResolverConfig{
 			Servers: []netstack.IPAddr{srv.Stack.IP},
 			Seed:    in.seed ^ hashString(name),
-		})
+		}))
 	}
 	in.dnsServer = server
 	return nil
@@ -66,12 +66,23 @@ func (in *Internet) AddName(alias, machine string) error {
 	return in.machines[in.dnsServer].Zone.AddA(qualify(alias), defaultDNSTTL, m.Stack.IP)
 }
 
-// RemoveName withdraws an alias (failover: re-point it with AddName).
-func (in *Internet) RemoveName(alias string) {
+// RemoveName withdraws a name from the topology zone (failover: re-point
+// it with AddName) and flushes it from every internet-owned resolver, so
+// the next resolve consults the authority and caches the NXDOMAIN for the
+// negative TTL — the stale window is the negative TTL, not the withdrawn
+// record's remaining positive TTL. It reports whether the zone held the
+// name. Call from simulation context (a coordinator At callback or under
+// the topology driver), like the resolvers themselves.
+func (in *Internet) RemoveName(alias string) bool {
 	if in.dnsServer == "" {
-		return
+		return false
 	}
-	in.machines[in.dnsServer].Zone.Remove(qualify(alias))
+	name := qualify(alias)
+	removed := in.machines[in.dnsServer].Zone.Remove(name)
+	for _, r := range in.resolvers {
+		r.Flush(name)
+	}
+	return removed
 }
 
 // qualify appends the topology domain to bare one-label names.

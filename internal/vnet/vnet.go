@@ -53,6 +53,10 @@ type Internet struct {
 	// blocking-adapter driver over the cluster.
 	dnsServer string
 	driver    *netstack.Driver
+	// resolvers are the per-machine stub resolvers EnableDNS installed
+	// (internet-owned), in machine order — RemoveName flushes a withdrawn
+	// name from each so staleness is bounded by the negative TTL.
+	resolvers []*netstack.Resolver
 }
 
 // Seed returns the seed the topology's link models replay from.

@@ -18,7 +18,13 @@
 #   - DNS resolve or dial-to-established VIRTUAL latency over the reference
 #     3-machine star grew more than 10%. These two are deterministic
 #     virtual-time measurements, so any growth is a real protocol change
-#     (an extra round trip, a spurious retransmit), never host noise.
+#     (an extra round trip, a spurious retransmit), never host noise, or
+#   - the balancer's ring pick allocates at all (it sits on every dial;
+#     zero-alloc is the invariant) or slows more than 2x wall-clock, or
+#   - failover re-convergence (kill a backend under health checks, wait
+#     for the breaker to eject it) moved more than 10% in VIRTUAL time:
+#     deterministic, so drift means probe cadence or breaker thresholds
+#     actually changed.
 #
 # The dispatch and conn-setup numbers are the min over BENCH_COUNT runs:
 # both are short loops dominated by scheduler noise, so min-of-N is the
@@ -76,7 +82,18 @@ echo "$name_out"
 dns_resolve_ns=$(metric "$name_out" BenchmarkDNSResolve "dns-resolve-ns")
 dial_established_ns=$(metric "$name_out" BenchmarkDialEstablished "dial-established-ns")
 
-for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns" "$dns_resolve_ns" "$dial_established_ns"; do
+echo "== lb ring pick (min of $runs runs) =="
+lb_out=$(go test -run '^$' -bench 'LBPick$' -benchtime=200000x -benchmem -count="$runs" ./internal/lb/)
+echo "$lb_out"
+lb_pick_ns=$(metric "$lb_out" BenchmarkLBPick "lb-pick-ns" | sort -g | head -1)
+lb_pick_allocs=$(metric "$lb_out" BenchmarkLBPick "allocs/op" | sort -g | head -1)
+
+echo "== failover re-convergence virtual latency =="
+fo_out=$(go test -run '^$' -bench 'FailoverReconverge$' -benchtime=1x ./internal/vnet/)
+echo "$fo_out"
+failover_reconverge_ns=$(metric "$fo_out" BenchmarkFailoverReconverge "failover-reconverge-ns")
+
+for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns" "$dns_resolve_ns" "$dial_established_ns" "$lb_pick_ns" "$lb_pick_allocs" "$failover_reconverge_ns"; do
   if [ -z "$v" ]; then
     echo "FAIL: could not parse a benchmark metric" >&2
     exit 1
@@ -95,7 +112,10 @@ cat > "$out" <<JSON
   "rx_allocs_per_packet": $rx_allocs,
   "vnet_hop_ns": $vnet_hop_ns,
   "dns_resolve_ns": $dns_resolve_ns,
-  "dial_established_ns": $dial_established_ns
+  "dial_established_ns": $dial_established_ns,
+  "lb_pick_ns": $lb_pick_ns,
+  "lb_pick_allocs": $lb_pick_allocs,
+  "failover_reconverge_ns": $failover_reconverge_ns
 }
 JSON
 echo "wrote $out:"
@@ -164,5 +184,38 @@ awk -v cur="$dial_established_ns" -v base="$base_dial" 'BEGIN {
   limit = base * 1.10
   printf "dial to established: %s virtual ns (baseline %s, limit %.0f)\n", cur, base, limit
   if (cur + 0 > limit) { print "FAIL: dial-to-established virtual latency regressed >10% vs committed baseline"; exit 1 }
+}'
+
+# lb pick: the ring sits on every balanced dial. Allocation gate is strict
+# (zero is the invariant); the ns gate carries 2x slack for wall-clock
+# noise, like vnet_hop_ns.
+base_pick=$(awk -F'[:,]' '/"lb_pick_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+base_pick_allocs=$(awk -F'[:,]' '/"lb_pick_allocs"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_pick" ] || [ -z "$base_pick_allocs" ]; then
+  echo "FAIL: no lb_pick_ns / lb_pick_allocs in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$lb_pick_allocs" -v base="$base_pick_allocs" 'BEGIN {
+  printf "lb ring pick: %s allocs/op (baseline %s; any growth fails)\n", cur, base
+  if (cur + 0 > base + 0) { print "FAIL: balancer ring pick started allocating"; exit 1 }
+}'
+awk -v cur="$lb_pick_ns" -v base="$base_pick" 'BEGIN {
+  limit = base * 2.0
+  printf "lb ring pick: %s ns/pick (baseline %s, limit %.2f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: balancer ring pick regressed >2x vs committed baseline"; exit 1 }
+}'
+
+# failover_reconverge_ns is VIRTUAL time (probe cadence + breaker
+# threshold), fully deterministic; 10% slack covers deliberate cost-model
+# tweaks only.
+base_reconv=$(awk -F'[:,]' '/"failover_reconverge_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_reconv" ]; then
+  echo "FAIL: no failover_reconverge_ns in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$failover_reconverge_ns" -v base="$base_reconv" 'BEGIN {
+  limit = base * 1.10
+  printf "failover re-convergence: %s virtual ns (baseline %s, limit %.0f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: failover re-convergence virtual latency regressed >10% vs committed baseline"; exit 1 }
 }'
 echo "bench smoke OK"
