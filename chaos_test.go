@@ -3,7 +3,8 @@ package spin
 // Chaos torture suite: the deterministic fault-injection harness
 // (internal/faultinject) drives failures through every wired site —
 // dispatcher invocation, netstack RX and reassembly, TCP delivery, TCP
-// connect, the VM pager and strand entry — on booted machines. The kernel must survive
+// connect, the VM pager, strand entry and verified-filter actions
+// ("bcode.run") — on booted machines. The kernel must survive
 // every injected fault, count each exactly once, quarantine repeat
 // offenders at the configured threshold, and replay the identical run from
 // the same seed.
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"spin/internal/bcode"
 	"spin/internal/dispatch"
 	"spin/internal/domain"
 	"spin/internal/faultinject"
@@ -58,6 +60,10 @@ type chaosSummary struct {
 	DialErrors         int
 	DialLateConnects   int
 	DialRetransmits    int64
+	BCodeFired         int64
+	BCodeQuarantined   int
+	BCodeDropped       int64
+	BCodeDelivered     int64
 	TotalInjected      int64
 }
 
@@ -520,6 +526,81 @@ func chaosDial(t *testing.T, seed uint64, sum *chaosSummary) {
 	sum.TotalInjected += inj.Fired() - 4 // phase 1's fires already counted
 }
 
+// chaosBCode injects panics into a verified bytecode filter's action: the
+// program passed the verifier, so the bytecode itself cannot fault, but
+// the handler wrapping it can — the "bcode.run" site models exactly that.
+// Each contained fault fails open (the packet is delivered, not lost), the
+// filter is quarantined at the boot policy's threshold, and the receive
+// path never stalls.
+func chaosBCode(t *testing.T, seed uint64, sum *chaosSummary) {
+	t.Helper()
+	m, err := NewMachine("chaos-bcode", Config{IP: netstack.Addr(10, 8, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddNIC(sal.LanceModel) // unconnected: inject-only
+	inj := m.EnableFaultInjection(seed)
+	inj.Arm(faultinject.Rule{
+		Site: "bcode.run", Kind: faultinject.KindPanic,
+		Probability: 0.5, MaxFires: 8,
+	})
+	// A verified-but-hostile filter, loaded from wire bytes through the
+	// untrusted-user path: drop UDP to port 9 (the sink).
+	filt, err := m.LoadFilter("chaos-filter", bcode.New(
+		bcode.LdCtx(3, netstack.CtxProto),
+		bcode.JneImm(3, int32(netstack.ProtoUDP), 3),
+		bcode.LdCtx(4, netstack.CtxDstPort),
+		bcode.JneImm(4, 9, 1),
+		bcode.Ja(2),
+		bcode.MovImm(0, 0),
+		bcode.Exit(),
+		bcode.MovImm(0, 1),
+		bcode.Exit(),
+	).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := m.Stack.UDP().Sink(9, netstack.InKernelDelivery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const packets = 40
+	for i := 0; i < packets; i++ {
+		if !m.Stack.InjectRX(0, &netstack.Packet{
+			Src: netstack.Addr(10, 8, 0, 2), Dst: m.Stack.IP, Proto: netstack.ProtoUDP,
+			SrcPort: 5000, DstPort: 9, Payload: make([]byte, 64), TTL: 32,
+		}) {
+			t.Fatal("rx queue full")
+		}
+		m.Run()
+	}
+	sum.BCodeFired = inj.FiredAt("bcode.run")
+	if sum.BCodeFired != 8 {
+		t.Errorf("bcode.run fired %d, want the full 8", sum.BCodeFired)
+	}
+	if !filt.Quarantined() {
+		t.Error("hostile filter not quarantined at the boot policy's threshold")
+	}
+	sum.BCodeQuarantined = len(m.Dispatcher.Quarantined())
+	_, matched := filt.Stats()
+	sum.BCodeDropped = matched
+	sum.BCodeDelivered = sink.Packets()
+	// Conservation: every packet was either dropped by a successful filter
+	// run or delivered (faulting runs fail open, post-quarantine packets
+	// flow freely). The RX path lost nothing.
+	if sum.BCodeDelivered+sum.BCodeDropped != packets {
+		t.Errorf("delivered %d + dropped %d != %d injected packets",
+			sum.BCodeDelivered, sum.BCodeDropped, packets)
+	}
+	// The 8 faults failed open and everything after the unlink flows, so
+	// deliveries must at least cover the faulted packets.
+	if sum.BCodeDelivered < 8 {
+		t.Errorf("delivered = %d, want >= 8 (faults fail open)", sum.BCodeDelivered)
+	}
+	inj.DisarmAll()
+	sum.TotalInjected += inj.Fired()
+}
+
 func runChaos(t *testing.T, seed uint64) chaosSummary {
 	var sum chaosSummary
 	chaosDispatch(t, seed, &sum)
@@ -529,6 +610,7 @@ func runChaos(t *testing.T, seed uint64) chaosSummary {
 	chaosStolenStrands(t, seed+5, &sum)
 	chaosTCP(t, seed+4, &sum)
 	chaosDial(t, seed+6, &sum)
+	chaosBCode(t, seed+7, &sum)
 	return sum
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"spin"
+	"spin/internal/bcode"
 	"spin/internal/domain"
 	"spin/internal/lb"
 	"spin/internal/monitor"
@@ -29,7 +30,7 @@ func main() {
 	if len(cmds) == 0 {
 		cmds = []string{"help", "events", "handlers UDP.PktArrived",
 			"stats TCP.PktArrived", "perf", "trace", "histo", "faults", "sched",
-			"lb", "tlb", "mem", "frame 300", "topo", "dns", "uptime"}
+			"lb", "bcode", "tlb", "mem", "frame 300", "topo", "dns", "uptime"}
 	}
 	if err := run(cmds); err != nil {
 		fmt.Fprintln(os.Stderr, "spin-dbg:", err)
@@ -104,6 +105,61 @@ func run(cmds []string) error {
 		return err
 	}
 
+	// Verified extensions for the "bcode" command: a wire-encoded filter
+	// loaded through the untrusted-user path (bytes in, verifier decides),
+	// an XDP early-drop program, and a steal policy on the scheduler.
+	discard := bcode.New(
+		bcode.LdCtx(3, netstack.CtxProto),
+		bcode.JneImm(3, int32(netstack.ProtoUDP), 3),
+		bcode.LdCtx(4, netstack.CtxDstPort),
+		bcode.JneImm(4, 9, 1), // the discard port
+		bcode.Ja(2),
+		bcode.MovImm(0, 0),
+		bcode.Exit(),
+		bcode.MovImm(0, 1),
+		bcode.Exit(),
+	)
+	if _, err := target.LoadFilter("udp9-discard", discard.Encode()); err != nil {
+		return err
+	}
+	if _, err := target.Stack.AttachXDP("ttl-guard", bcode.New(
+		bcode.LdCtx(3, netstack.CtxTTL),
+		bcode.JeqImm(3, 0, 2), // expired TTL: drop before the graph
+		bcode.MovImm(0, 0),
+		bcode.Exit(),
+		bcode.MovImm(0, 1),
+		bcode.Exit(),
+	)); err != nil {
+		return err
+	}
+	if _, err := target.Sched.SetStealPolicy("leave-one", bcode.New(
+		bcode.LdCtx(3, strand.StealCtxDepth),
+		bcode.JgtImm(3, 1, 2), // deep victim queues: allow the steal
+		bcode.MovImm(0, 1),    // depth <= 1: veto, leave the victim its strand
+		bcode.Exit(),
+		bcode.MovImm(0, 0),
+		bcode.Exit(),
+	)); err != nil {
+		return err
+	}
+	bcodeReport := func() netdbg.BCodeReport {
+		var r netdbg.BCodeReport
+		for _, p := range target.Stack.BCodePrograms() {
+			r.Programs = append(r.Programs, netdbg.BCodeProgInfo{
+				Name: p.Name, Point: p.Point, Insns: p.Insns,
+				Runs: p.Runs, Matched: p.Matched, Quarantined: p.Quarantined,
+			})
+		}
+		if pol := target.Sched.StealPolicyInstalled(); pol != nil {
+			evals, vetoes := pol.Stats()
+			r.Programs = append(r.Programs, netdbg.BCodeProgInfo{
+				Name: pol.Name(), Point: "steal-policy", Insns: pol.Insns(),
+				Runs: evals, Matched: vetoes,
+			})
+		}
+		return r
+	}
+
 	// Kernel-wide tracing feeds the "trace" (dispatch ring) and "histo"
 	// (latency histogram) commands.
 	tracer := target.EnableTracing(256)
@@ -113,6 +169,7 @@ func run(cmds []string) error {
 		MMU:        target.MMU,
 		Topo:       in.Describe,
 		LB:         bal.Report,
+		BCode:      bcodeReport,
 		Extra: map[string]func(string) string{
 			"uptime": func(string) string {
 				return fmt.Sprintf("uptime: %v of virtual time", target.Clock.Now().Sub(0))

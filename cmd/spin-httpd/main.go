@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"spin"
+	"spin/internal/bcode"
 	"spin/internal/dispatch"
 	"spin/internal/domain"
 	"spin/internal/fs"
@@ -44,6 +45,7 @@ type debugContent struct {
 	disp   *dispatch.Dispatcher
 	sched  *strand.Scheduler
 	lb     func() netdbg.LBReport
+	bcode  func() netdbg.BCodeReport
 }
 
 func (d debugContent) Get(path string) ([]byte, bool) {
@@ -61,6 +63,11 @@ func (d debugContent) Get(path string) ([]byte, bool) {
 			return []byte("error: no load balancer attached\n"), true
 		}
 		return []byte(d.lb().String() + "\n"), true
+	case "/debug/bcode":
+		if d.bcode == nil {
+			return []byte("error: no bcode programs attached\n"), true
+		}
+		return []byte(d.bcode().String() + "\n"), true
 	}
 	return d.docs.Get(path)
 }
@@ -133,9 +140,32 @@ func run(requests int) error {
 	}
 	cache := fs.NewWebCache(server.FS, 256<<10, 64<<10)
 	tracer := server.EnableTracing(1024)
+	// A verified early-drop program below the server's protocol graph
+	// feeds the /debug/bcode page: drop TTL-expired packets before any
+	// layer sees them.
+	if _, err := server.Stack.AttachXDP("ttl-guard", bcode.New(
+		bcode.LdCtx(3, netstack.CtxTTL),
+		bcode.JeqImm(3, 0, 2),
+		bcode.MovImm(0, 0),
+		bcode.Exit(),
+		bcode.MovImm(0, 1),
+		bcode.Exit(),
+	)); err != nil {
+		return err
+	}
+	bcodeReport := func() netdbg.BCodeReport {
+		var r netdbg.BCodeReport
+		for _, p := range server.Stack.BCodePrograms() {
+			r.Programs = append(r.Programs, netdbg.BCodeProgInfo{
+				Name: p.Name, Point: p.Point, Insns: p.Insns,
+				Runs: p.Runs, Matched: p.Matched, Quarantined: p.Quarantined,
+			})
+		}
+		return r
+	}
 	if _, err := netstack.NewHTTPServerOwned("httpd-www-spin", server.Stack, 80, netstack.InKernelDelivery,
 		debugContent{docs: cache, tracer: tracer, disp: server.Dispatcher, sched: server.Sched,
-			lb: rd.Report}); err != nil {
+			lb: rd.Report, bcode: bcodeReport}); err != nil {
 		return err
 	}
 	// The replica serves the same tree (its own cache, no debug pages) and
@@ -228,6 +258,21 @@ func run(requests int) error {
 		return fmt.Errorf("/debug/sched request never completed")
 	}
 	fmt.Printf("\nGET /debug/sched:\n%s", schedRep)
+
+	// The verified-extension report, fetched over the wire like the rest.
+	var bcodeRep []byte
+	got = false
+	if err := netstack.HTTPGet(client.Stack, server.Stack.IP, 80, "/debug/bcode",
+		netstack.InKernelDelivery, func(_ string, body []byte) {
+			bcodeRep = body
+			got = true
+		}); err != nil {
+		return err
+	}
+	if !in.RunUntil(func() bool { return got }, 0) {
+		return fmt.Errorf("/debug/bcode request never completed")
+	}
+	fmt.Printf("\nGET /debug/bcode:\n%s", bcodeRep)
 
 	// Finally, the same page fetched the way any Go program would: an
 	// unmodified net/http client whose transport dials through the

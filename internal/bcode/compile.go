@@ -1,0 +1,252 @@
+package bcode
+
+// The compiler lowers a verified program into a form the hot path can
+// execute with zero allocations and no per-instruction decode: immediates
+// are sign-extended once, shift amounts pre-masked, register-form
+// comparisons renumbered onto the immediate-form switch arms, and jump
+// offsets resolved to absolute targets. The result is wrapped in a Go
+// closure (func(*Context) uint64), which is what the load points install —
+// the dispatcher's guard slot, the stack's XDP slot and the scheduler's
+// steal-policy slot all hold ordinary closures, so a verified program and
+// a trusted Go predicate are indistinguishable at the call site.
+//
+// The compiled executor intentionally shares no execution code with the
+// reference interpreter (interp.go): the differential property test drives
+// both over the same seeded programs and contexts precisely because they
+// are two independent implementations of the semantics.
+
+// cop is one lowered micro-op.
+type cop struct {
+	op  uint8
+	dst uint8
+	src uint8
+	k   uint64 // sign-extended immediate (pre-masked for shifts)
+	off uint64 // byte-load offset, sign-extended
+	tgt int32  // absolute jump target
+}
+
+// lower translates p's instructions to micro-ops. Register numbers and
+// jump targets are clamped, so even a program that skipped Verify cannot
+// make the executor fault — it would only compute garbage.
+func lower(p *Program) []cop {
+	n := len(p.Insns)
+	cops := make([]cop, n)
+	for i, in := range p.Insns {
+		c := cop{
+			op:  in.Op,
+			dst: in.Dst & (NumRegs - 1),
+			src: in.Src & (NumRegs - 1),
+			k:   uint64(int64(in.Imm)),
+			off: uint64(int64(in.Off)),
+		}
+		switch in.Op {
+		case OpLshImm, OpRshImm:
+			c.k &= 63
+		case OpLdCtx:
+			c.k &= MaxCtxWords - 1
+		case OpJa, OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm,
+			OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg, OpJsetReg:
+			tgt := i + 1 + int(in.Off)
+			if tgt < 0 || tgt > n {
+				tgt = n // clamp: garbage terminates instead of faulting
+			}
+			c.tgt = int32(tgt)
+		}
+		cops[i] = c
+	}
+	return cops
+}
+
+// Compile lowers p to a closure executing it against one Context per call.
+// p should have passed Verify: compiled code elides every check the
+// verifier discharges statically. The closure allocates nothing and is
+// safe for concurrent use; all mutable state lives in its stack frame.
+func (p *Program) Compile() func(*Context) uint64 {
+	cops := lower(p)
+	return func(ctx *Context) uint64 {
+		v, _ := execCops(cops, ctx)
+		return v
+	}
+}
+
+// compileRegs is the compiler's debug variant: same lowering and executor,
+// but the final register file is returned so the differential test can
+// compare it against the reference interpreter's.
+func (p *Program) compileRegs() func(*Context) (uint64, [NumRegs]uint64) {
+	cops := lower(p)
+	return func(ctx *Context) (uint64, [NumRegs]uint64) {
+		return execCops(cops, ctx)
+	}
+}
+
+// execCops runs lowered micro-ops. The register file is a local array —
+// nothing escapes, so a run costs zero heap allocations.
+func execCops(cops []cop, ctx *Context) (uint64, [NumRegs]uint64) {
+	var r [NumRegs]uint64
+	r[2] = uint64(len(ctx.Bytes))
+	for pc := 0; pc < len(cops); {
+		c := &cops[pc]
+		switch c.op {
+		case OpMovImm:
+			r[c.dst] = c.k
+		case OpAddImm:
+			r[c.dst] += c.k
+		case OpSubImm:
+			r[c.dst] -= c.k
+		case OpMulImm:
+			r[c.dst] *= c.k
+		case OpDivImm:
+			if c.k == 0 {
+				r[c.dst] = 0
+			} else {
+				r[c.dst] /= c.k
+			}
+		case OpModImm:
+			if c.k != 0 {
+				r[c.dst] %= c.k
+			}
+		case OpAndImm:
+			r[c.dst] &= c.k
+		case OpOrImm:
+			r[c.dst] |= c.k
+		case OpXorImm:
+			r[c.dst] ^= c.k
+		case OpLshImm:
+			r[c.dst] <<= c.k
+		case OpRshImm:
+			r[c.dst] >>= c.k
+		case OpMovReg:
+			r[c.dst] = r[c.src]
+		case OpAddReg:
+			r[c.dst] += r[c.src]
+		case OpSubReg:
+			r[c.dst] -= r[c.src]
+		case OpMulReg:
+			r[c.dst] *= r[c.src]
+		case OpDivReg:
+			if v := r[c.src]; v == 0 {
+				r[c.dst] = 0
+			} else {
+				r[c.dst] /= v
+			}
+		case OpModReg:
+			if v := r[c.src]; v != 0 {
+				r[c.dst] %= v
+			}
+		case OpAndReg:
+			r[c.dst] &= r[c.src]
+		case OpOrReg:
+			r[c.dst] |= r[c.src]
+		case OpXorReg:
+			r[c.dst] ^= r[c.src]
+		case OpLshReg:
+			r[c.dst] <<= r[c.src] & 63
+		case OpRshReg:
+			r[c.dst] >>= r[c.src] & 63
+		case OpNeg:
+			r[c.dst] = -r[c.dst]
+		case OpLdCtx:
+			r[c.dst] = ctx.W[c.k]
+		case OpLdB:
+			b := ctx.Bytes
+			if off := r[c.src] + c.off; off < uint64(len(b)) {
+				r[c.dst] = uint64(b[off])
+			} else {
+				r[c.dst] = 0
+			}
+		case OpLdH:
+			b := ctx.Bytes
+			if off := r[c.src] + c.off; off < uint64(len(b)) && uint64(len(b))-off >= 2 {
+				r[c.dst] = uint64(b[off])<<8 | uint64(b[off+1])
+			} else {
+				r[c.dst] = 0
+			}
+		case OpLdW:
+			b := ctx.Bytes
+			if off := r[c.src] + c.off; off < uint64(len(b)) && uint64(len(b))-off >= 4 {
+				r[c.dst] = uint64(b[off])<<24 | uint64(b[off+1])<<16 | uint64(b[off+2])<<8 | uint64(b[off+3])
+			} else {
+				r[c.dst] = 0
+			}
+		case OpJa:
+			pc = int(c.tgt)
+			continue
+		case OpJeqImm:
+			if r[c.dst] == c.k {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJneImm:
+			if r[c.dst] != c.k {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJgtImm:
+			if r[c.dst] > c.k {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJgeImm:
+			if r[c.dst] >= c.k {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJltImm:
+			if r[c.dst] < c.k {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJleImm:
+			if r[c.dst] <= c.k {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJsetImm:
+			if r[c.dst]&c.k != 0 {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJeqReg:
+			if r[c.dst] == r[c.src] {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJneReg:
+			if r[c.dst] != r[c.src] {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJgtReg:
+			if r[c.dst] > r[c.src] {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJgeReg:
+			if r[c.dst] >= r[c.src] {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJltReg:
+			if r[c.dst] < r[c.src] {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJleReg:
+			if r[c.dst] <= r[c.src] {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpJsetReg:
+			if r[c.dst]&r[c.src] != 0 {
+				pc = int(c.tgt)
+				continue
+			}
+		case OpExit:
+			return r[0], r
+		default:
+			return 0, r // unverified garbage: defined, inert
+		}
+		pc++
+	}
+	return 0, r
+}

@@ -1,0 +1,191 @@
+package bcode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The differential property test: the compiler must never silently diverge
+// from the reference interpreter. A seeded generator produces random
+// programs biased toward verifiability, Verify filters them (the generator
+// tracks types along the straight-line path only, so merges occasionally
+// reject a candidate — that is fine, the verifier is the oracle), and every
+// accepted program runs under both implementations across random contexts.
+// Verdicts AND final register files must match exactly.
+
+const (
+	diffPrograms        = 150
+	diffContextsPerProg = 8
+	diffSeed            = 0x5b0de
+
+	genSpecWords = 8
+)
+
+// genProgram emits one random candidate program of 6..40 instructions,
+// well-formed along its fallthrough path: registers are only read after a
+// straight-line write, jumps are forward into the body, the last
+// instruction is Exit. Join-point type conflicts can still slip in, which
+// is exactly what Verify is for.
+func genProgram(rng *rand.Rand) *Program {
+	n := 6 + rng.Intn(35)
+	insns := make([]Insn, 0, n)
+	var t [NumRegs]regType
+	t[1] = typePtr
+	t[2] = typeScalar
+
+	pick := func(want regType) (uint8, bool) {
+		var regs []uint8
+		for r := uint8(0); r < NumRegs; r++ {
+			if t[r] == want {
+				regs = append(regs, r)
+			}
+		}
+		if len(regs) == 0 {
+			return 0, false
+		}
+		return regs[rng.Intn(len(regs))], true
+	}
+
+	// Verdict first, so r0 is a scalar on the fallthrough path whatever
+	// else the body does.
+	insns = append(insns, MovImm(0, int32(rng.Uint32())))
+	t[0] = typeScalar
+
+	for len(insns) < n-1 {
+		i := len(insns)
+		switch rng.Intn(10) {
+		case 0: // fresh scalar
+			dst := uint8(rng.Intn(NumRegs))
+			insns = append(insns, MovImm(dst, int32(rng.Uint32())))
+			t[dst] = typeScalar
+		case 1: // ALU imm
+			if dst, ok := pick(typeScalar); ok {
+				ops := []uint8{OpAddImm, OpSubImm, OpMulImm, OpAndImm, OpOrImm, OpXorImm, OpLshImm, OpRshImm, OpDivImm, OpModImm}
+				op := ops[rng.Intn(len(ops))]
+				imm := int32(rng.Uint32())
+				if (op == OpDivImm || op == OpModImm) && imm == 0 {
+					imm = 3
+				}
+				insns = append(insns, Insn{Op: op, Dst: dst, Imm: imm})
+			}
+		case 2: // ALU reg
+			dst, ok1 := pick(typeScalar)
+			src, ok2 := pick(typeScalar)
+			if ok1 && ok2 {
+				ops := []uint8{OpAddReg, OpSubReg, OpMulReg, OpDivReg, OpModReg, OpAndReg, OpOrReg, OpXorReg, OpLshReg, OpRshReg}
+				insns = append(insns, Insn{Op: ops[rng.Intn(len(ops))], Dst: dst, Src: src})
+			}
+		case 3: // context word load
+			dst := uint8(rng.Intn(NumRegs))
+			insns = append(insns, LdCtx(dst, int32(rng.Intn(genSpecWords))))
+			t[dst] = typeScalar
+		case 4: // byte-region load through a pointer
+			if src, ok := pick(typePtr); ok {
+				dst := uint8(rng.Intn(NumRegs))
+				ops := []uint8{OpLdB, OpLdH, OpLdW}
+				insns = append(insns, Insn{Op: ops[rng.Intn(len(ops))], Dst: dst, Src: src, Off: int16(rng.Intn(70) - 4)})
+				t[dst] = typeScalar
+			}
+		case 5: // advance a pointer
+			if dst, ok := pick(typePtr); ok {
+				insns = append(insns, AddImm(dst, int32(rng.Intn(32))))
+			}
+		case 6: // copy a register
+			srcT := typeScalar
+			if rng.Intn(3) == 0 {
+				srcT = typePtr
+			}
+			if src, ok := pick(srcT); ok {
+				dst := uint8(rng.Intn(NumRegs))
+				if dst != 0 || srcT == typeScalar { // never a pointer verdict
+					insns = append(insns, MovReg(dst, src))
+					t[dst] = t[src]
+				}
+			}
+		case 7: // negate
+			if dst, ok := pick(typeScalar); ok {
+				insns = append(insns, Neg(dst))
+			}
+		case 8, 9: // forward jump into the body
+			room := n - 2 - i // furthest legal relative offset
+			if room <= 0 {
+				continue
+			}
+			off := int16(rng.Intn(room + 1))
+			if rng.Intn(4) == 0 {
+				insns = append(insns, Ja(off))
+			} else if dst, ok := pick(typeScalar); ok {
+				condImms := []uint8{OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm}
+				condRegs := []uint8{OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg, OpJsetReg}
+				if src, ok2 := pick(typeScalar); ok2 && rng.Intn(2) == 0 {
+					insns = append(insns, Insn{Op: condRegs[rng.Intn(len(condRegs))], Dst: dst, Src: src, Off: off})
+				} else {
+					insns = append(insns, Insn{Op: condImms[rng.Intn(len(condImms))], Dst: dst, Imm: int32(rng.Uint32()), Off: off})
+				}
+			}
+		}
+	}
+	insns = append(insns, Exit())
+	return &Program{Insns: insns}
+}
+
+func genContext(rng *rand.Rand) *Context {
+	var ctx Context
+	for i := 0; i < genSpecWords; i++ {
+		ctx.W[i] = rng.Uint64()
+	}
+	if n := rng.Intn(65); n > 0 {
+		b := make([]byte, n)
+		rng.Read(b)
+		ctx.Bytes = b
+	}
+	return &ctx
+}
+
+func TestDifferentialInterpreterVsCompiled(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed))
+	spec := Spec{Words: genSpecWords}
+	accepted, attempts, pairs := 0, 0, 0
+	for accepted < diffPrograms {
+		attempts++
+		if attempts > diffPrograms*50 {
+			t.Fatalf("generator acceptance collapsed: %d accepted after %d attempts", accepted, attempts)
+		}
+		p := genProgram(rng)
+		if Verify(p, spec) != nil {
+			continue
+		}
+		accepted++
+		// Round-trip through the wire encoding too: what runs is what a
+		// loader would decode.
+		dec, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("program %d: re-decode: %v", accepted, err)
+		}
+		compiled := dec.compileRegs()
+		for c := 0; c < diffContextsPerProg; c++ {
+			ctx := genContext(rng)
+			iv, iregs, steps, ierr := p.RunSteps(ctx, len(p.Insns))
+			if ierr != nil {
+				t.Fatalf("program %d ctx %d: verified program faulted in interpreter: %v", accepted, c, ierr)
+			}
+			if steps > len(p.Insns) {
+				t.Fatalf("program %d ctx %d: %d steps exceeds instruction count %d", accepted, c, steps, len(p.Insns))
+			}
+			cv, cregs := compiled(ctx)
+			if iv != cv {
+				t.Fatalf("program %d ctx %d: verdict diverged: interp %d, compiled %d\nprogram: %+v",
+					accepted, c, iv, cv, p.Insns)
+			}
+			if iregs != cregs {
+				t.Fatalf("program %d ctx %d: registers diverged:\ninterp   %v\ncompiled %v\nprogram: %+v",
+					accepted, c, iregs, cregs, p.Insns)
+			}
+			pairs++
+		}
+	}
+	if pairs < 1000 {
+		t.Fatalf("only %d program x context pairs, want >= 1000", pairs)
+	}
+	t.Logf("differential: %d programs (%d candidates), %d pairs, all identical", accepted, attempts, pairs)
+}

@@ -1,0 +1,344 @@
+package bcode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed verification failures. Every rejection wraps exactly one of these,
+// so callers (and the adversarial-corpus tests) can assert the precise
+// reason with errors.Is.
+var (
+	// ErrVerifyEmpty rejects a program with no instructions.
+	ErrVerifyEmpty = errors.New("empty program")
+	// ErrVerifyTooLarge rejects programs longer than MaxInsns.
+	ErrVerifyTooLarge = errors.New("program exceeds MaxInsns")
+	// ErrVerifyTruncated rejects encodings that are not a whole number of
+	// instructions (returned by Decode).
+	ErrVerifyTruncated = errors.New("truncated encoding")
+	// ErrVerifyOpcode rejects an unknown opcode.
+	ErrVerifyOpcode = errors.New("unknown opcode")
+	// ErrVerifyRegister rejects a register number outside r0..r7.
+	ErrVerifyRegister = errors.New("register out of range")
+	// ErrVerifyBackEdge rejects a backward (or self) jump — the termination
+	// guarantee is that control only moves forward.
+	ErrVerifyBackEdge = errors.New("backward jump")
+	// ErrVerifyJumpRange rejects a jump past the end of the program.
+	ErrVerifyJumpRange = errors.New("jump target out of range")
+	// ErrVerifyCtxOOB rejects a context-word read outside the load point's
+	// declared Spec.
+	ErrVerifyCtxOOB = errors.New("context read out of bounds")
+	// ErrVerifyType rejects type confusion: dereferencing a scalar,
+	// arithmetic (other than advancing) on a packet pointer, comparing or
+	// returning a pointer.
+	ErrVerifyType = errors.New("type confusion")
+	// ErrVerifyUninit rejects reading a register no path has written
+	// (including the verdict register at Exit).
+	ErrVerifyUninit = errors.New("uninitialized register")
+	// ErrVerifyDivZero rejects division or modulus by a zero immediate.
+	ErrVerifyDivZero = errors.New("division by zero immediate")
+	// ErrVerifyNoExit rejects programs where execution can fall off the end.
+	ErrVerifyNoExit = errors.New("control reaches end of program")
+)
+
+// VerifyError locates one rejection: the instruction and the typed reason.
+type VerifyError struct {
+	PC     int
+	Reason error
+	Detail string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("bcode: verify: pc %d: %s: %v", e.PC, e.Detail, e.Reason)
+}
+
+func (e *VerifyError) Unwrap() error { return e.Reason }
+
+func vErr(pc int, reason error, format string, args ...any) error {
+	return &VerifyError{PC: pc, Reason: reason, Detail: fmt.Sprintf(format, args...)}
+}
+
+// regType is the verifier's abstract value for one register.
+type regType uint8
+
+const (
+	// typeUninit marks a register no path has written (or whose type
+	// differs between merging paths — unusable either way).
+	typeUninit regType = iota
+	// typeScalar marks an ordinary 64-bit value.
+	typeScalar
+	// typePtr marks a packet pointer into the context's byte region.
+	typePtr
+)
+
+func (t regType) String() string {
+	switch t {
+	case typeScalar:
+		return "scalar"
+	case typePtr:
+		return "ptr"
+	}
+	return "uninit"
+}
+
+// regState is the abstract register file at one program point.
+type regState [NumRegs]regType
+
+// merge joins two predecessor states: equal types survive, conflicting
+// types become uninitialized (conservative: a register whose type depends
+// on the path taken cannot be used).
+func merge(a, b regState) regState {
+	var out regState
+	for i := range a {
+		if a[i] == b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = typeUninit
+		}
+	}
+	return out
+}
+
+// Verify checks p against the safety invariants for a load point exposing
+// spec. On success the program is guaranteed to
+//
+//   - terminate within len(p.Insns) steps (every branch is forward, so no
+//     instruction executes twice),
+//   - read only declared context words and bounds-checked byte-region
+//     offsets (out-of-range byte loads yield 0 by definition),
+//   - never dereference a scalar or leak a pointer into a scalar
+//     computation or the verdict,
+//   - never read a register before writing it, and
+//   - never divide by a constant zero (register divisors are defined at
+//     runtime: div → 0, mod → dst unchanged).
+//
+// Because branches are forward-only, a single in-order abstract
+// interpretation pass visits every reachable instruction with the merged
+// state of all its predecessors before simulating it. Unreachable
+// instructions are ignored — they can never execute.
+func Verify(p *Program, spec Spec) error {
+	if spec.Words < 0 || spec.Words > MaxCtxWords {
+		return fmt.Errorf("bcode: verify: bad spec: %d context words (max %d)", spec.Words, MaxCtxWords)
+	}
+	n := len(p.Insns)
+	if n == 0 {
+		return vErr(0, ErrVerifyEmpty, "program has no instructions")
+	}
+	if n > MaxInsns {
+		return vErr(0, ErrVerifyTooLarge, "%d instructions (max %d)", n, MaxInsns)
+	}
+
+	type point struct {
+		reach bool
+		regs  regState
+	}
+	pts := make([]point, n)
+	// Entry ABI: r1 = packet pointer (byte-region base), r2 = region
+	// length. Everything else must be written before use.
+	var entry regState
+	entry[1] = typePtr
+	entry[2] = typeScalar
+	pts[0] = point{reach: true, regs: entry}
+
+	// flow propagates the post-state st into successor pc.
+	flow := func(from int, st regState, to int) {
+		if !pts[to].reach {
+			pts[to] = point{reach: true, regs: st}
+			return
+		}
+		pts[to].regs = merge(pts[to].regs, st)
+	}
+
+	// checkReg validates a register number.
+	checkReg := func(pc int, r uint8, role string) error {
+		if r >= NumRegs {
+			return vErr(pc, ErrVerifyRegister, "%s r%d", role, r)
+		}
+		return nil
+	}
+	// useScalar validates reading r as a scalar operand.
+	useScalar := func(pc int, st *regState, r uint8, role string) error {
+		if err := checkReg(pc, r, role); err != nil {
+			return err
+		}
+		switch st[r] {
+		case typeScalar:
+			return nil
+		case typePtr:
+			return vErr(pc, ErrVerifyType, "%s r%d is a packet pointer, want scalar", role, r)
+		}
+		return vErr(pc, ErrVerifyUninit, "%s r%d read before write", role, r)
+	}
+
+	for pc := 0; pc < n; pc++ {
+		if !pts[pc].reach {
+			continue
+		}
+		st := pts[pc].regs
+		in := p.Insns[pc]
+		// Register fields must be valid even when an op ignores them
+		// (Exit, Ja): the execution engines index the register file by
+		// these bytes, and a "reserved" field holding garbage is exactly
+		// the kind of latitude a verifier must not grant.
+		if in.Dst >= NumRegs || in.Src >= NumRegs {
+			return vErr(pc, ErrVerifyRegister, "dst r%d / src r%d", in.Dst, in.Src)
+		}
+
+		// branch validates a jump and flows st to its target.
+		branch := func(conditional bool) error {
+			if in.Off < 0 {
+				return vErr(pc, ErrVerifyBackEdge, "jump offset %d", in.Off)
+			}
+			tgt := pc + 1 + int(in.Off)
+			if tgt >= n {
+				return vErr(pc, ErrVerifyJumpRange, "jump to %d (program has %d instructions)", tgt, n)
+			}
+			flow(pc, st, tgt)
+			if conditional {
+				// tgt < n implies pc+1 <= tgt < n, so the fallthrough
+				// successor always exists here.
+				flow(pc, st, pc+1)
+			}
+			return nil
+		}
+		// fallthrough to pc+1 for straight-line instructions.
+		next := func() error {
+			if pc+1 >= n {
+				return vErr(pc, ErrVerifyNoExit, "final instruction is not Exit")
+			}
+			flow(pc, st, pc+1)
+			return nil
+		}
+
+		var err error
+		switch in.Op {
+		case OpMovImm:
+			if err = checkReg(pc, in.Dst, "dst"); err == nil {
+				st[in.Dst] = typeScalar
+				err = next()
+			}
+		case OpAddImm:
+			// The one pointer-arithmetic form: advancing a packet pointer
+			// by an immediate keeps it a pointer (loads stay
+			// bounds-checked at runtime).
+			if err = checkReg(pc, in.Dst, "dst"); err == nil {
+				if st[in.Dst] == typeUninit {
+					err = vErr(pc, ErrVerifyUninit, "dst r%d read before write", in.Dst)
+				} else {
+					err = next()
+				}
+			}
+		case OpSubImm, OpMulImm, OpAndImm, OpOrImm, OpXorImm, OpLshImm, OpRshImm:
+			if err = useScalar(pc, &st, in.Dst, "dst"); err == nil {
+				err = next()
+			}
+		case OpDivImm, OpModImm:
+			if in.Imm == 0 {
+				err = vErr(pc, ErrVerifyDivZero, "%s by zero immediate", opName(in.Op))
+			} else if err = useScalar(pc, &st, in.Dst, "dst"); err == nil {
+				err = next()
+			}
+		case OpMovReg:
+			if err = checkReg(pc, in.Dst, "dst"); err == nil {
+				if err = checkReg(pc, in.Src, "src"); err == nil {
+					if st[in.Src] == typeUninit {
+						err = vErr(pc, ErrVerifyUninit, "src r%d read before write", in.Src)
+					} else {
+						st[in.Dst] = st[in.Src]
+						err = next()
+					}
+				}
+			}
+		case OpAddReg:
+			// ptr += scalar advances a packet pointer; scalar += scalar is
+			// plain arithmetic; every combination involving a pointer on
+			// the right (or both sides) is confusion.
+			if err = checkReg(pc, in.Dst, "dst"); err == nil {
+				switch {
+				case st[in.Dst] == typeUninit:
+					err = vErr(pc, ErrVerifyUninit, "dst r%d read before write", in.Dst)
+				default:
+					if err = useScalar(pc, &st, in.Src, "src"); err == nil {
+						err = next()
+					}
+				}
+			}
+		case OpSubReg, OpMulReg, OpDivReg, OpModReg, OpAndReg, OpOrReg, OpXorReg, OpLshReg, OpRshReg:
+			if err = useScalar(pc, &st, in.Dst, "dst"); err == nil {
+				if err = useScalar(pc, &st, in.Src, "src"); err == nil {
+					err = next()
+				}
+			}
+		case OpNeg:
+			if err = useScalar(pc, &st, in.Dst, "dst"); err == nil {
+				err = next()
+			}
+		case OpLdCtx:
+			if err = checkReg(pc, in.Dst, "dst"); err == nil {
+				if in.Imm < 0 || int(in.Imm) >= spec.Words {
+					err = vErr(pc, ErrVerifyCtxOOB, "context word %d (spec has %d)", in.Imm, spec.Words)
+				} else {
+					st[in.Dst] = typeScalar
+					err = next()
+				}
+			}
+		case OpLdB, OpLdH, OpLdW:
+			if err = checkReg(pc, in.Dst, "dst"); err == nil {
+				if err = checkReg(pc, in.Src, "src"); err == nil {
+					switch st[in.Src] {
+					case typePtr:
+						st[in.Dst] = typeScalar
+						err = next()
+					case typeScalar:
+						err = vErr(pc, ErrVerifyType, "src r%d is a scalar, %s needs a packet pointer", in.Src, opName(in.Op))
+					default:
+						err = vErr(pc, ErrVerifyUninit, "src r%d read before write", in.Src)
+					}
+				}
+			}
+		case OpJa:
+			err = branch(false)
+		case OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
+			if err = useScalar(pc, &st, in.Dst, "dst"); err == nil {
+				err = branch(true)
+			}
+		case OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg, OpJsetReg:
+			if err = useScalar(pc, &st, in.Dst, "dst"); err == nil {
+				if err = useScalar(pc, &st, in.Src, "src"); err == nil {
+					err = branch(true)
+				}
+			}
+		case OpExit:
+			switch st[0] {
+			case typeScalar:
+				// verdict ok; no successors.
+			case typePtr:
+				err = vErr(pc, ErrVerifyType, "verdict r0 is a packet pointer")
+			default:
+				err = vErr(pc, ErrVerifyUninit, "verdict r0 never written")
+			}
+		default:
+			err = vErr(pc, ErrVerifyOpcode, "opcode %#02x", in.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func opName(op uint8) string {
+	switch op {
+	case OpDivImm:
+		return "div"
+	case OpModImm:
+		return "mod"
+	case OpLdB:
+		return "ldb"
+	case OpLdH:
+		return "ldh"
+	case OpLdW:
+		return "ldw"
+	}
+	return fmt.Sprintf("op %#02x", op)
+}

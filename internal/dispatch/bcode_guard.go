@@ -1,0 +1,44 @@
+package dispatch
+
+import (
+	"sync"
+
+	"spin/internal/bcode"
+)
+
+// Verified-bytecode guards: the dispatcher's guard slot is the paper's
+// original home for "little language" predicates (§2.1), and this adapter
+// is where an untrusted program becomes one. The program is verified and
+// compiled exactly once, at install time; afterwards the dispatcher cannot
+// tell a bytecode guard from a trusted Go predicate — both are closures
+// evaluated on the Raise path at GuardEval cost.
+
+// CtxBinder translates one raised event argument into a bytecode Context.
+// It returns false when the argument is not of the shape the program
+// expects (the guard then declines the event, matching how trusted guards
+// type-check their argument first). Contexts are recycled between
+// evaluations, so a binder must fill every word its spec exposes.
+type CtxBinder func(arg any, ctx *bcode.Context) bool
+
+// VerifiedGuard verifies prog against spec and compiles it into a Guard.
+// The guard matches when the program's verdict is nonzero. Installing an
+// unverifiable program fails here, before the handler touches the event
+// table — install-time rejection is the whole safety model.
+func VerifiedGuard(prog *bcode.Program, spec bcode.Spec, bind CtxBinder) (Guard, error) {
+	if err := bcode.Verify(prog, spec); err != nil {
+		return nil, err
+	}
+	run := prog.Compile()
+	return func(arg any) bool {
+		// Pooled: the compiled program is a func value, so a stack-local
+		// Context would escape — one allocation per guard evaluation.
+		ctx := guardCtxPool.Get().(*bcode.Context)
+		defer func() { ctx.Bytes = nil; guardCtxPool.Put(ctx) }()
+		if !bind(arg, ctx) {
+			return false
+		}
+		return run(ctx) != bcode.VerdictPass
+	}, nil
+}
+
+var guardCtxPool = sync.Pool{New: func() any { return new(bcode.Context) }}

@@ -1,0 +1,83 @@
+package dispatch
+
+import (
+	"errors"
+	"testing"
+
+	"spin/internal/bcode"
+	"spin/internal/domain"
+)
+
+// evtCtx is the test event's context ABI: word 0 carries the event's
+// integer argument.
+var evtSpec = bcode.Spec{Words: 1}
+
+func bindInt(arg any, ctx *bcode.Context) bool {
+	v, ok := arg.(int)
+	if !ok {
+		return false
+	}
+	ctx.W[0] = uint64(v)
+	return true
+}
+
+// matchOver builds a program matching arguments greater than n.
+func matchOver(n int32) *bcode.Program {
+	return bcode.New(
+		bcode.LdCtx(1, 0),
+		bcode.JgtImm(1, n, 2),
+		bcode.MovImm(0, 0),
+		bcode.Exit(),
+		bcode.MovImm(0, 1),
+		bcode.Exit(),
+	)
+}
+
+func TestVerifiedGuardGatesHandler(t *testing.T) {
+	d, _ := newTestDispatcher()
+	_ = d.Define("Sensor.Sample", DefineOptions{})
+	guard, err := VerifiedGuard(matchOver(100), evtSpec, bindInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	_, err = d.Install("Sensor.Sample", func(arg, _ any) any {
+		fired++
+		return nil
+	}, InstallOptions{
+		Installer: domain.Identity{Name: "bcode:over-100"},
+		Guard:     guard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{5, 100, 101, 5000} {
+		d.Raise("Sensor.Sample", v)
+	}
+	if fired != 2 {
+		t.Errorf("handler fired %d times, want 2 (101 and 5000)", fired)
+	}
+	// Arguments the binder cannot shape decline the event instead of
+	// running the program on garbage.
+	d.Raise("Sensor.Sample", "not an int")
+	if fired != 2 {
+		t.Error("guard matched an unbindable argument")
+	}
+}
+
+func TestVerifiedGuardRejectsAtInstallTime(t *testing.T) {
+	// The verdict register is never written on the fallthrough path —
+	// Verify must catch it here, before any Raise.
+	bad := bcode.New(
+		bcode.LdCtx(1, 0),
+		bcode.Exit(),
+	)
+	if _, err := VerifiedGuard(bad, evtSpec, bindInt); !errors.Is(err, bcode.ErrVerifyUninit) {
+		t.Fatalf("err = %v, want ErrVerifyUninit", err)
+	}
+	// Context reads outside the declared spec likewise fail the install.
+	oob := bcode.New(bcode.LdCtx(0, 1), bcode.Exit())
+	if _, err := VerifiedGuard(oob, evtSpec, bindInt); !errors.Is(err, bcode.ErrVerifyCtxOOB) {
+		t.Fatalf("err = %v, want ErrVerifyCtxOOB", err)
+	}
+}

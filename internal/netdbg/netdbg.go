@@ -34,6 +34,10 @@ type Target struct {
 	// LB, when set, enables the "lb" command: a snapshot of this kernel's
 	// load-balancer state (ring membership, breaker states, retry budget).
 	LB func() LBReport
+	// BCode, when set, enables the "bcode" command: the verified bytecode
+	// programs loaded into this kernel (XDP filters, dispatcher guards,
+	// steal policies) with run counters and quarantine state.
+	BCode func() BCodeReport
 	// Extra registers additional commands: name -> handler(arg) -> reply.
 	Extra map[string]func(arg string) string
 }
@@ -89,6 +93,8 @@ func (d *Debugger) execute(line string) string {
 		return d.topo()
 	case "lb":
 		return d.lb()
+	case "bcode":
+		return d.bcode()
 	default:
 		if d.target.Extra != nil {
 			if h, ok := d.target.Extra[cmd]; ok {
@@ -100,7 +106,7 @@ func (d *Debugger) execute(line string) string {
 }
 
 func (d *Debugger) help() string {
-	cmds := []string{"events", "faults", "frame <n>", "handlers <event>", "help", "lb", "mem", "net", "stats <event>", "tlb", "topo"}
+	cmds := []string{"bcode", "events", "faults", "frame <n>", "handlers <event>", "help", "lb", "mem", "net", "stats <event>", "tlb", "topo"}
 	for c := range d.target.Extra {
 		cmds = append(cmds, c)
 	}
@@ -233,6 +239,51 @@ func (d *Debugger) lb() string {
 		return "error: no load balancer attached"
 	}
 	return d.target.LB().String()
+}
+
+// bcode reports the verified programs loaded into the target kernel.
+func (d *Debugger) bcode() string {
+	if d.target.BCode == nil {
+		return "error: no bcode programs attached"
+	}
+	return d.target.BCode().String()
+}
+
+// BCodeProgInfo is one loaded verified program in a BCodeReport.
+type BCodeProgInfo struct {
+	Name  string
+	Point string // load point: "xdp", "ip-filter", "steal-policy"
+	Insns int
+	Runs  int64
+	// Matched counts verdicts that took the program's action (drops for
+	// filters, vetoes for steal policies).
+	Matched     int64
+	Quarantined bool
+}
+
+// BCodeReport is the verified-extension snapshot shared by the "bcode"
+// wire command and spin-httpd's /debug/bcode endpoint. The kernel fills
+// it from its stack and scheduler; this package only renders it.
+type BCodeReport struct {
+	Programs []BCodeProgInfo
+}
+
+// String renders the report for the wire and the debug endpoint.
+func (r BCodeReport) String() string {
+	if len(r.Programs) == 0 {
+		return "bcode: no verified programs loaded"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bcode: %d verified program(s)", len(r.Programs))
+	for _, p := range r.Programs {
+		state := "live"
+		if p.Quarantined {
+			state = "QUARANTINED"
+		}
+		fmt.Fprintf(&sb, "\n  %-16s %-12s %3d insns  runs=%-8d matched=%-8d %s",
+			p.Name, p.Point, p.Insns, p.Runs, p.Matched, state)
+	}
+	return sb.String()
 }
 
 // LBBackend is one backend's health in an LBReport.

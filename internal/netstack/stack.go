@@ -148,6 +148,13 @@ type Stack struct {
 	// faulty protocol handler costs its packet, never the RX worker or the
 	// kernel (paper §4.3 applied to the data path).
 	rxPanics atomic.Int64
+
+	// xdp is the verified early-drop program evaluated before the
+	// link-layer event fires (see ext_bcode.go); bcodeFilters tracks the
+	// dispatcher-installed bytecode filters for the debug surfaces.
+	xdp          atomic.Pointer[XDPFilter]
+	bcodeMu      sync.Mutex
+	bcodeFilters []*BCodeFilter
 }
 
 // NewStack builds a protocol stack on the machine's dispatcher and defines
@@ -371,6 +378,14 @@ func (s *Stack) safeReceive(ctx rxCtx, linkEvent string, pkt *Packet) {
 	s.receive(ctx, linkEvent, pkt)
 }
 
+// ReceiveOne pushes a single packet up the graph synchronously, bypassing
+// the NIC queues — the direct entry the RX benchmarks use to measure the
+// per-packet path (with and without an XDP program attached) without queue
+// noise.
+func (s *Stack) ReceiveOne(pkt *Packet) {
+	s.safeReceive(s.rxctx(), EvEtherArrived, pkt)
+}
+
 // StartRXWorkers switches the stack to parallel receive: one goroutine per
 // attached NIC drains that NIC's queue in batches of up to rxBatch,
 // replacing the engine-scheduled per-packet drains. The receive path itself
@@ -550,6 +565,11 @@ func (s *Stack) receive1(ctx rxCtx, linkEvent string, pkt *Packet) {
 	// Injection site "net.rx": drop/error discards the packet before the
 	// graph sees it; a panic rule exercises the safeReceive guard.
 	if f := ctx.inj.Fire("net.rx"); f.Kind == faultinject.KindDrop || f.Kind == faultinject.KindError {
+		return
+	}
+	// XDP position: the attached verified program (if any) sees the packet
+	// before any layer counts or events — the cheapest possible drop.
+	if s.xdpDrop(pkt) {
 		return
 	}
 	s.received.Add(1)

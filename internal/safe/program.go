@@ -1,0 +1,34 @@
+package safe
+
+import (
+	"fmt"
+
+	"spin/internal/bcode"
+)
+
+// Verified bytecode joins the safe-object-file model as a third provenance:
+// alongside compiler-signed Modula-3 and kernel-asserted C, a bytecode
+// program is admitted because the install-time verifier *proved* its
+// safety. ExportProgram is the packaging step — decode the wire bytes,
+// verify them against the load point's spec, and seal the accepted program
+// into an object file the in-kernel linker can hand to any subsystem that
+// takes one.
+
+// ExportProgram decodes and verifies code against spec, then returns a
+// sealed object file exporting the program under name (symbol "program")
+// with Compiler provenance — the verifier plays the same certifying role
+// the Modula-3 compiler does for native extensions. Rejections pass the
+// verifier's typed error through unchanged, so callers can errors.Is on
+// the precise reason.
+func ExportProgram(name string, code []byte, spec bcode.Spec) (*ObjectFile, error) {
+	prog, err := bcode.Decode(code)
+	if err != nil {
+		return nil, fmt.Errorf("safe: program %s: %w", name, err)
+	}
+	if err := bcode.Verify(prog, spec); err != nil {
+		return nil, fmt.Errorf("safe: program %s: %w", name, err)
+	}
+	return NewObjectFile(name).
+		Export("program", prog).
+		Sign(Compiler), nil
+}

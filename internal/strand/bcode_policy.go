@@ -1,0 +1,99 @@
+package strand
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spin/internal/bcode"
+)
+
+// Verified steal policies: the scheduler's third extension point (after
+// SchedEvent observers and the strand events themselves) accepts the same
+// verified bytecode the network path runs. A policy program is consulted
+// for every candidate victim during work stealing; a nonzero verdict vetoes
+// that victim and the scan moves on. Because the program passed Verify, a
+// hostile policy can at worst make stealing conservative — it cannot fault,
+// loop, or touch scheduler state.
+
+// Steal-policy context ABI.
+const (
+	// StealCtxThief is the id of the CPU attempting the steal.
+	StealCtxThief = 0
+	// StealCtxVictim is the id of the candidate victim CPU.
+	StealCtxVictim = 1
+	// StealCtxDepth is the victim's ready-queue depth.
+	StealCtxDepth = 2
+	// StealCtxNow is the thief's virtual time.
+	StealCtxNow = 3
+	// StealCtxWords is how many words the steal ABI exposes.
+	StealCtxWords = 4
+)
+
+// StealSpec is the verification spec for steal-policy programs.
+var StealSpec = bcode.Spec{Words: StealCtxWords}
+
+// StealPolicy is one installed policy program.
+type StealPolicy struct {
+	name   string
+	prog   *bcode.Program
+	run    func(*bcode.Context) uint64
+	evals  atomic.Int64
+	vetoes atomic.Int64
+}
+
+// Name identifies the policy.
+func (p *StealPolicy) Name() string { return p.name }
+
+// Insns reports the program length.
+func (p *StealPolicy) Insns() int { return len(p.prog.Insns) }
+
+// Stats reports victim evaluations and vetoes issued.
+func (p *StealPolicy) Stats() (evals, vetoes int64) { return p.evals.Load(), p.vetoes.Load() }
+
+// SetStealPolicy verifies prog against the steal ABI, compiles it, and
+// installs it, replacing any previous policy. Like SetObserver, call it
+// before Run (or between runs).
+func (sched *Scheduler) SetStealPolicy(name string, prog *bcode.Program) (*StealPolicy, error) {
+	if err := bcode.Verify(prog, StealSpec); err != nil {
+		return nil, fmt.Errorf("strand: steal policy %s: %w", name, err)
+	}
+	p := &StealPolicy{name: name, prog: prog, run: prog.Compile()}
+	sched.stealPolicy.Store(p)
+	return p, nil
+}
+
+// ClearStealPolicy removes the installed policy, if any.
+func (sched *Scheduler) ClearStealPolicy() { sched.stealPolicy.Store(nil) }
+
+// StealPolicyInstalled returns the installed policy, or nil.
+func (sched *Scheduler) StealPolicyInstalled() *StealPolicy {
+	return sched.stealPolicy.Load()
+}
+
+// stealVetoed consults the policy (if any) about thief stealing from
+// victim, charging one guard evaluation on the thief.
+func (c *CPU) stealVetoed(victim *CPU) bool {
+	p := c.sched.stealPolicy.Load()
+	if p == nil {
+		return false
+	}
+	c.clock.Advance(c.sched.profile.GuardEval)
+	p.evals.Add(1)
+	// Pooled: the compiled program is a func value, so a stack-local
+	// Context would escape — one allocation per steal probe.
+	ctx := stealCtxPool.Get().(*bcode.Context)
+	ctx.W[StealCtxThief] = uint64(c.id)
+	ctx.W[StealCtxVictim] = uint64(victim.id)
+	ctx.W[StealCtxDepth] = uint64(victim.ready.Load().size)
+	ctx.W[StealCtxNow] = uint64(c.clock.Now())
+	verdict := p.run(ctx)
+	stealCtxPool.Put(ctx)
+	if verdict == bcode.VerdictPass {
+		return false
+	}
+	p.vetoes.Add(1)
+	return true
+}
+
+var stealCtxPool = sync.Pool{New: func() any { return new(bcode.Context) }}

@@ -223,6 +223,11 @@ func (c *CPU) trySteal() *Strand {
 	}
 	for _, vi := range c.rng.Perm(n - 1) {
 		victim := sched.cpus[(c.id+1+vi)%n]
+		// An installed steal policy (verified bytecode) may veto this
+		// victim; the scan then continues with the next candidate.
+		if c.stealVetoed(victim) {
+			continue
+		}
 		s := victim.takeTail()
 		if s == nil {
 			continue

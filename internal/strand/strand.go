@@ -119,6 +119,9 @@ type Scheduler struct {
 	rr int
 	// observer, if set, sees every switch/steal/migrate in order.
 	observer func(SchedEvent)
+	// stealPolicy, if set, is the verified bytecode program consulted per
+	// steal candidate (see bcode_policy.go).
+	stealPolicy atomic.Pointer[StealPolicy]
 	// strandFaults counts strand-body panics contained by the entry guard:
 	// a faulting strand dies alone, the scheduler loop keeps running.
 	strandFaults atomic.Int64

@@ -24,7 +24,11 @@
 #   - failover re-convergence (kill a backend under health checks, wait
 #     for the breaker to eject it) moved more than 10% in VIRTUAL time:
 #     deterministic, so drift means probe cadence or breaker thresholds
-#     actually changed.
+#     actually changed, or
+#   - the compiled bytecode filter allocates at all (it runs per packet;
+#     zero-alloc is the invariant) or slows more than 2x wall-clock, or
+#   - RX with an XDP program attached costs more than 2x bare RX, measured
+#     in the same run (a ratio, so host noise largely cancels).
 #
 # The dispatch and conn-setup numbers are the min over BENCH_COUNT runs:
 # both are short loops dominated by scheduler noise, so min-of-N is the
@@ -88,12 +92,21 @@ echo "$lb_out"
 lb_pick_ns=$(metric "$lb_out" BenchmarkLBPick "lb-pick-ns" | sort -g | head -1)
 lb_pick_allocs=$(metric "$lb_out" BenchmarkLBPick "allocs/op" | sort -g | head -1)
 
+echo "== bcode filter + XDP RX overhead (min of $runs runs) =="
+bcode_out=$(go test -run '^$' -bench 'Filter(Compiled|Interpreted)$|RXBare$|RXXDP$' -benchtime=300000x -benchmem -count="$runs" .)
+echo "$bcode_out"
+bcode_filter_ns=$(echo "$bcode_out" | awk '$1 ~ /^BenchmarkFilterCompiled($|-)/ {print $3}' | sort -g | head -1)
+bcode_filter_allocs=$(metric "$bcode_out" BenchmarkFilterCompiled "allocs/op" | sort -g | head -1)
+bcode_interp_ns=$(echo "$bcode_out" | awk '$1 ~ /^BenchmarkFilterInterpreted($|-)/ {print $3}' | sort -g | head -1)
+rx_bare_ns=$(echo "$bcode_out" | awk '$1 ~ /^BenchmarkRXBare($|-)/ {print $3}' | sort -g | head -1)
+rx_xdp_ns=$(echo "$bcode_out" | awk '$1 ~ /^BenchmarkRXXDP($|-)/ {print $3}' | sort -g | head -1)
+
 echo "== failover re-convergence virtual latency =="
 fo_out=$(go test -run '^$' -bench 'FailoverReconverge$' -benchtime=1x ./internal/vnet/)
 echo "$fo_out"
 failover_reconverge_ns=$(metric "$fo_out" BenchmarkFailoverReconverge "failover-reconverge-ns")
 
-for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns" "$dns_resolve_ns" "$dial_established_ns" "$lb_pick_ns" "$lb_pick_allocs" "$failover_reconverge_ns"; do
+for v in "$dispatch_ns" "$forkjoin" "$pingpong" "$mk1" "$mk4" "$conn_setup_ns" "$rx_allocs" "$vnet_hop_ns" "$dns_resolve_ns" "$dial_established_ns" "$lb_pick_ns" "$lb_pick_allocs" "$failover_reconverge_ns" "$bcode_filter_ns" "$bcode_filter_allocs" "$bcode_interp_ns" "$rx_bare_ns" "$rx_xdp_ns"; do
   if [ -z "$v" ]; then
     echo "FAIL: could not parse a benchmark metric" >&2
     exit 1
@@ -115,7 +128,12 @@ cat > "$out" <<JSON
   "dial_established_ns": $dial_established_ns,
   "lb_pick_ns": $lb_pick_ns,
   "lb_pick_allocs": $lb_pick_allocs,
-  "failover_reconverge_ns": $failover_reconverge_ns
+  "failover_reconverge_ns": $failover_reconverge_ns,
+  "bcode_filter_ns": $bcode_filter_ns,
+  "bcode_filter_allocs": $bcode_filter_allocs,
+  "bcode_interp_ns": $bcode_interp_ns,
+  "rx_bare_ns": $rx_bare_ns,
+  "rx_xdp_ns": $rx_xdp_ns
 }
 JSON
 echo "wrote $out:"
@@ -217,5 +235,33 @@ awk -v cur="$failover_reconverge_ns" -v base="$base_reconv" 'BEGIN {
   limit = base * 1.10
   printf "failover re-convergence: %s virtual ns (baseline %s, limit %.0f)\n", cur, base, limit
   if (cur + 0 > limit) { print "FAIL: failover re-convergence virtual latency regressed >10% vs committed baseline"; exit 1 }
+}'
+
+# bcode filter: the compiled program runs once per received packet when a
+# filter is attached. Allocation gate is strict (zero is the invariant —
+# the contexts are pooled precisely so this holds); the ns gate carries 2x
+# slack for wall-clock noise, like vnet_hop_ns. The XDP-vs-bare gate is a
+# same-run ratio, so host speed cancels out: an attached filter may at most
+# double per-packet RX cost.
+base_bfilter=$(awk -F'[:,]' '/"bcode_filter_ns"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+base_bfilter_allocs=$(awk -F'[:,]' '/"bcode_filter_allocs"/ {gsub(/[[:space:]]/, "", $2); print $2}' "$baseline")
+if [ -z "$base_bfilter" ] || [ -z "$base_bfilter_allocs" ]; then
+  echo "FAIL: no bcode_filter_ns / bcode_filter_allocs in $baseline" >&2
+  exit 1
+fi
+awk -v cur="$bcode_filter_allocs" -v base="$base_bfilter_allocs" 'BEGIN {
+  printf "bcode compiled filter: %s allocs/op (baseline %s; any growth fails)\n", cur, base
+  if (cur + 0 > base + 0) { print "FAIL: compiled bytecode filter started allocating"; exit 1 }
+}'
+awk -v cur="$bcode_filter_ns" -v base="$base_bfilter" 'BEGIN {
+  limit = base * 2.0
+  printf "bcode compiled filter: %s ns/run (baseline %s, limit %.2f)\n", cur, base, limit
+  if (cur + 0 > limit) { print "FAIL: compiled bytecode filter regressed >2x vs committed baseline"; exit 1 }
+}'
+awk -v bare="$rx_bare_ns" -v xdp="$rx_xdp_ns" 'BEGIN {
+  if (bare + 0 <= 0 || xdp / bare > 2.0) {
+    printf "FAIL: RX with XDP filter costs %.2fx bare RX, want <= 2x\n", xdp / bare; exit 1
+  }
+  printf "xdp rx overhead: %.2fx bare RX (%s vs %s ns/packet, same run)\n", xdp / bare, xdp, bare
 }'
 echo "bench smoke OK"

@@ -20,6 +20,7 @@ package spin
 import (
 	"fmt"
 
+	"spin/internal/bcode"
 	"spin/internal/capability"
 	"spin/internal/dispatch"
 	"spin/internal/domain"
@@ -263,6 +264,28 @@ func (m *Machine) LoadExtension(obj *safe.ObjectFile) (*domain.T, error) {
 // Extensions reports how many extensions have been loaded.
 func (m *Machine) Extensions() int { return m.extCount }
 
+// LoadFilter admits wire-encoded verified bytecode as a packet filter at
+// the kernel's IP layer: the bytes are decoded, verified against the
+// packet context ABI, packaged as a safe object file (the verifier signing
+// in the compiler's stead), and installed as a dispatcher guard whose
+// matching packets are dropped. This is the untrusted-user path — code
+// arrives as bytes, no Go in sight — so rejections carry the verifier's
+// typed error naming the offending instruction.
+func (m *Machine) LoadFilter(name string, code []byte) (*netstack.BCodeFilter, error) {
+	obj, err := safe.ExportProgram(name, code, netstack.PacketSpec)
+	if err != nil {
+		return nil, err
+	}
+	sym, _ := obj.LookupExport("program")
+	prog := sym.Value.Interface().(*bcode.Program)
+	f, err := netstack.NewBCodeFilter(m.Stack, name, prog, netstack.Drop)
+	if err != nil {
+		return nil, err
+	}
+	m.extCount++
+	return f, nil
+}
+
 // DNSAuthorityName is the nameserver entry a ServeDNS zone is exported
 // under.
 const DNSAuthorityName = "DNSAuthority"
@@ -381,8 +404,9 @@ func (m *Machine) DisableTracing() { m.Dispatcher.SetTracer(nil) }
 
 // EnableFaultInjection arms the kernel's deterministic fault-injection
 // harness: every injection site (dispatcher invocation, netstack RX /
-// reassembly / TCP delivery, VM pager, strand entry) consults the returned
-// injector, whose decisions replay exactly from seed. Arm rules on the
+// reassembly / TCP delivery, VM pager, strand entry, verified-filter
+// actions at "bcode.run") consults the returned injector, whose decisions
+// replay exactly from seed. Arm rules on the
 // injector to make faults happen; until then (and after
 // DisableFaultInjection) each site costs one predictable-nil load.
 func (m *Machine) EnableFaultInjection(seed uint64) *faultinject.Injector {
